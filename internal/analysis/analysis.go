@@ -1,0 +1,61 @@
+// Package analysis implements the paper's architecture-independent
+// characterization "pintools" (Section III): the dynamic branch-instruction
+// mix (Figure 1), the conditional-branch direction-bias distribution
+// (Figure 2) and backward/forward taken split (Table I), static and
+// 99%-dynamic instruction footprints (Figure 3), and basic-block length and
+// taken-branch distance (Figure 4).
+//
+// Each analyzer is a trace.Observer, so any subset can share a single pass
+// over a workload's instruction stream. All analyzers separate serial from
+// parallel code sections, the paper's distinguishing methodological choice.
+package analysis
+
+// Phase selects which code sections a metric aggregates over.
+type Phase int
+
+const (
+	// Total aggregates over the whole stream.
+	Total Phase = iota
+	// Serial aggregates over sequential sections only.
+	Serial
+	// Parallel aggregates over parallel sections only.
+	Parallel
+
+	numPhases
+)
+
+// NumPhases is the number of aggregation phases.
+const NumPhases = int(numPhases)
+
+// String returns the phase name as used in the paper's figures.
+func (p Phase) String() string {
+	switch p {
+	case Total:
+		return "total"
+	case Serial:
+		return "serial"
+	case Parallel:
+		return "parallel"
+	}
+	return "phase?"
+}
+
+// Phases lists the aggregation phases in figure order.
+var Phases = [NumPhases]Phase{Total, Serial, Parallel}
+
+// PhaseVals holds one metric's value for each aggregation phase.
+type PhaseVals struct {
+	Total, Serial, Parallel float64
+}
+
+// Get returns the value for the given phase.
+func (v PhaseVals) Get(p Phase) float64 {
+	switch p {
+	case Serial:
+		return v.Serial
+	case Parallel:
+		return v.Parallel
+	default:
+		return v.Total
+	}
+}

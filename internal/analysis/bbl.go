@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"rebalance/internal/isa"
+	"rebalance/internal/stats"
+)
+
+// BBL reproduces the Figure 4 pintool: the average dynamic basic-block
+// length in bytes (a block ends at any control-flow instruction, which is
+// included in its block, matching Pin's trace/BBL definition) and the
+// average distance in bytes between consecutive *taken* branches — the
+// length of the sequential fetch runs the I-cache sees.
+type BBL struct {
+	blockLen [2]stats.Mean // per phase, bytes per basic block
+	takenGap [2]stats.Mean // per phase, bytes between taken branches
+
+	curBlock [2]int64 // bytes accumulated in the current block per phase
+	curRun   [2]int64 // bytes accumulated since the last taken branch
+}
+
+// NewBBL returns a fresh basic-block analyzer.
+func NewBBL() *BBL { return &BBL{} }
+
+// Observe implements trace.Observer.
+func (a *BBL) Observe(in isa.Inst) {
+	p := phaseIdx(in.Serial)
+	a.curBlock[p] += int64(in.Size)
+	a.curRun[p] += int64(in.Size)
+	if !in.Kind.IsBranch() {
+		return
+	}
+	// Any branch instruction terminates the basic block.
+	a.blockLen[p].Add(float64(a.curBlock[p]))
+	a.curBlock[p] = 0
+	if in.Taken {
+		a.takenGap[p].Add(float64(a.curRun[p]))
+		a.curRun[p] = 0
+	}
+}
+
+func combine(ms *[2]stats.Mean, p Phase) float64 {
+	idx := phaseRange(p)
+	var sum float64
+	var n int64
+	for _, i := range idx {
+		sum += ms[i].Value() * float64(ms[i].N())
+		n += ms[i].N()
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AvgBlockBytes returns the mean dynamic basic-block length in bytes.
+func (a *BBL) AvgBlockBytes(p Phase) float64 { return combine(&a.blockLen, p) }
+
+// AvgTakenDistance returns the mean distance in bytes between consecutive
+// taken branches.
+func (a *BBL) AvgTakenDistance(p Phase) float64 { return combine(&a.takenGap, p) }
+
+// Blocks returns the number of dynamic basic blocks observed in the phase.
+func (a *BBL) Blocks(p Phase) int64 {
+	var n int64
+	for _, i := range phaseRange(p) {
+		n += a.blockLen[i].N()
+	}
+	return n
+}
+
+// BBLReport is the Figure 4 artifact for one workload.
+type BBLReport struct {
+	// AvgBlockB[phase] is the mean basic-block length in bytes.
+	AvgBlockB [NumPhases]float64
+	// AvgTakenDistB[phase] is the mean distance between taken branches.
+	AvgTakenDistB [NumPhases]float64
+}
+
+// Report summarizes the analyzer into a BBLReport.
+func (a *BBL) Report() BBLReport {
+	var r BBLReport
+	for i, p := range Phases {
+		r.AvgBlockB[i] = a.AvgBlockBytes(p)
+		r.AvgTakenDistB[i] = a.AvgTakenDistance(p)
+	}
+	return r
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"rebalance/internal/isa"
+)
+
+// BranchMix reproduces the Figure 1 pintool: it counts every dynamic
+// instruction and classifies the control-flow instructions by kind, split
+// by serial/parallel code section.
+type BranchMix struct {
+	// insts[phase] is the dynamic instruction count per phase
+	// (phase index: 0 serial, 1 parallel).
+	insts [2]int64
+	// kinds[phase][kind] is the dynamic count of each instruction kind.
+	kinds [2][isa.NumKinds]int64
+}
+
+// NewBranchMix returns a fresh branch-mix analyzer.
+func NewBranchMix() *BranchMix { return &BranchMix{} }
+
+func phaseIdx(serial bool) int {
+	if serial {
+		return 0
+	}
+	return 1
+}
+
+// Observe implements trace.Observer.
+func (a *BranchMix) Observe(in isa.Inst) {
+	p := phaseIdx(in.Serial)
+	a.insts[p]++
+	a.kinds[p][in.Kind]++
+}
+
+// Insts returns the dynamic instruction count for the phase.
+func (a *BranchMix) Insts(p Phase) int64 {
+	switch p {
+	case Serial:
+		return a.insts[0]
+	case Parallel:
+		return a.insts[1]
+	default:
+		return a.insts[0] + a.insts[1]
+	}
+}
+
+// Count returns the dynamic count of the kind in the phase.
+func (a *BranchMix) Count(p Phase, k isa.Kind) int64 {
+	switch p {
+	case Serial:
+		return a.kinds[0][k]
+	case Parallel:
+		return a.kinds[1][k]
+	default:
+		return a.kinds[0][k] + a.kinds[1][k]
+	}
+}
+
+// Fraction returns the kind's share of all dynamic instructions in the
+// phase, as the percentage axis of Figure 1 uses.
+func (a *BranchMix) Fraction(p Phase, k isa.Kind) float64 {
+	n := a.Insts(p)
+	if n == 0 {
+		return 0
+	}
+	return float64(a.Count(p, k)) / float64(n)
+}
+
+// BranchFraction returns the share of all dynamic instructions that are
+// control-flow instructions of any kind (the bar heights of Figure 1).
+func (a *BranchMix) BranchFraction(p Phase) float64 {
+	n := a.Insts(p)
+	if n == 0 {
+		return 0
+	}
+	var b int64
+	for k := 0; k < isa.NumKinds; k++ {
+		if isa.Kind(k).IsBranch() {
+			b += a.Count(p, isa.Kind(k))
+		}
+	}
+	return float64(b) / float64(n)
+}
+
+// IndirectFractionOfBranches returns indirect jumps and calls as a share of
+// all branch instructions (the paper reports <0.5% on average, up to 2.5%
+// for CoEVP).
+func (a *BranchMix) IndirectFractionOfBranches(p Phase) float64 {
+	var b, ind int64
+	for k := 0; k < isa.NumKinds; k++ {
+		kind := isa.Kind(k)
+		if !kind.IsBranch() {
+			continue
+		}
+		c := a.Count(p, kind)
+		b += c
+		if kind == isa.KindIndirectBranch || kind == isa.KindIndirectCall {
+			ind += c
+		}
+	}
+	if b == 0 {
+		return 0
+	}
+	return float64(ind) / float64(b)
+}
+
+// MixReport is the Figure 1 artifact for one workload: per phase, the share
+// of total instructions contributed by each branch kind.
+type MixReport struct {
+	// Insts is the dynamic instruction count per phase.
+	Insts [NumPhases]int64
+	// Share[phase][kind] is that kind's percentage of the phase's
+	// instructions (0..100).
+	Share [NumPhases][isa.NumKinds]float64
+	// BranchPct is the total branch percentage per phase.
+	BranchPct [NumPhases]float64
+}
+
+// Report summarizes the analyzer into a MixReport.
+func (a *BranchMix) Report() MixReport {
+	var r MixReport
+	for i, p := range Phases {
+		r.Insts[i] = a.Insts(p)
+		r.BranchPct[i] = 100 * a.BranchFraction(p)
+		for k := 0; k < isa.NumKinds; k++ {
+			r.Share[i][k] = 100 * a.Fraction(p, isa.Kind(k))
+		}
+	}
+	return r
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"rebalance/internal/program"
+	"rebalance/internal/trace"
+)
+
+// Characterization bundles the four architecture-independent analyses for
+// one workload — everything Section III of the paper reports.
+type Characterization struct {
+	// Workload is the benchmark name.
+	Workload string
+	// Insts is the number of dynamic instructions analyzed.
+	Insts int64
+	// Mix is the Figure 1 artifact.
+	Mix MixReport
+	// Bias is the Figure 2 / Table I artifact.
+	Bias BiasReport
+	// Footprint is the Figure 3 artifact.
+	Footprint FootprintReport
+	// BBL is the Figure 4 artifact.
+	BBL BBLReport
+}
+
+// Characterize runs all four analyzers over about n dynamic instructions of
+// the program in a single pass, the way one Pin run hosts several analysis
+// routines.
+func Characterize(p *program.Program, seed uint64, n int64) (*Characterization, error) {
+	mix := NewBranchMix()
+	bias := NewBias()
+	fp := NewFootprint()
+	bbl := NewBBL()
+	if err := trace.Run(p, seed, n, mix, bias, fp, bbl); err != nil {
+		return nil, err
+	}
+	return &Characterization{
+		Workload:  p.Name,
+		Insts:     mix.Insts(Total),
+		Mix:       mix.Report(),
+		Bias:      bias.Report(),
+		Footprint: fp.Report(p.TextSize),
+		BBL:       bbl.Report(),
+	}, nil
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"rebalance/internal/isa"
+	"rebalance/internal/stats"
+)
+
+// footprintGranularity is the chunk size (bytes) at which dynamic footprints
+// are accounted. The paper's pintool accounts per basic block; chunked
+// accounting at sub-line granularity measures the same "memory needed to
+// hold X% of dynamic instructions" to within one chunk.
+const footprintGranularity = 32
+
+// Footprint reproduces the Figure 3 pintool: it weights every executed
+// address chunk by the dynamic instructions it supplied, then computes the
+// smallest memory that covers a given fraction (the paper uses 99%) of all
+// dynamic instructions. The static footprint comes from the program image
+// (program.Program.TextSize), not from this observer.
+type Footprint struct {
+	chunks [2]map[uint64]int64 // per phase: chunk index -> dynamic insts
+}
+
+// NewFootprint returns a fresh footprint analyzer.
+func NewFootprint() *Footprint {
+	return &Footprint{chunks: [2]map[uint64]int64{make(map[uint64]int64), make(map[uint64]int64)}}
+}
+
+// Observe implements trace.Observer.
+func (a *Footprint) Observe(in isa.Inst) {
+	p := phaseIdx(in.Serial)
+	// An instruction may straddle a chunk boundary; credit its first byte's
+	// chunk, which keeps accounting single-increment and is accurate to one
+	// chunk.
+	a.chunks[p][uint64(in.PC)/footprintGranularity]++
+}
+
+// items flattens the phase's chunk map into weighted items.
+func (a *Footprint) items(p Phase) []stats.WeightedItem {
+	merged := make(map[uint64]int64)
+	for _, i := range phaseRange(p) {
+		for c, w := range a.chunks[i] {
+			merged[c] += w
+		}
+	}
+	out := make([]stats.WeightedItem, 0, len(merged))
+	for _, w := range merged {
+		out = append(out, stats.WeightedItem{Size: footprintGranularity, Weight: w})
+	}
+	return out
+}
+
+// DynamicBytes returns the smallest number of bytes of code that covers the
+// given fraction of the phase's dynamic instructions (Figure 3 plots this
+// for coverage = 0.99).
+func (a *Footprint) DynamicBytes(p Phase, coverage float64) int64 {
+	return stats.FootprintForCoverage(a.items(p), coverage)
+}
+
+// TouchedBytes returns the total bytes of code executed at least once in
+// the phase — the dynamic (touched) footprint.
+func (a *Footprint) TouchedBytes(p Phase) int64 {
+	return a.DynamicBytes(p, 1.0)
+}
+
+// FootprintReport is the Figure 3 artifact for one workload.
+type FootprintReport struct {
+	// StaticKB is the program's static code footprint.
+	StaticKB float64
+	// Dyn99KB[phase] is the memory needed for 99% of dynamic instructions.
+	Dyn99KB [NumPhases]float64
+	// TouchedKB[phase] is the memory executed at least once.
+	TouchedKB [NumPhases]float64
+}
+
+// Report summarizes the analyzer; staticBytes is the program's text size.
+func (a *Footprint) Report(staticBytes int64) FootprintReport {
+	r := FootprintReport{StaticKB: float64(staticBytes) / 1024}
+	for i, p := range Phases {
+		r.Dyn99KB[i] = float64(a.DynamicBytes(p, 0.99)) / 1024
+		r.TouchedKB[i] = float64(a.TouchedBytes(p)) / 1024
+	}
+	return r
+}

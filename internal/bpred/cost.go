@@ -1,0 +1,60 @@
+package bpred
+
+// This file implements the paper's Table II: the hardware-cost formulas of
+// the evaluated branch predictors and the size parameters chosen so that
+// small configurations cost ~2KB and big configurations ~16KB.
+
+// GshareCostBits returns the gshare storage cost for history length m:
+// 2^(m+1) bits (2^m two-bit counters), per Table II.
+func GshareCostBits(m uint) int { return 1 << (m + 1) }
+
+// TournamentCostBits returns the tournament storage cost for n index bits
+// and history length m: 2^n(m+2) + 2^(m+2) bits, per Table II.
+func TournamentCostBits(n, m uint) int {
+	return (1<<n)*(int(m)+2) + (1 << (m + 2))
+}
+
+// CostRow is one row of the Table II artifact.
+type CostRow struct {
+	// Predictor is the predictor family name.
+	Predictor string
+	// SmallParams and BigParams describe the size parameters.
+	SmallParams, BigParams string
+	// SmallKB and BigKB are the realized hardware costs in kilobytes.
+	SmallKB, BigKB float64
+}
+
+// CostTable regenerates Table II from the actual predictor constructors:
+// the parameters and the realized storage cost of each configuration.
+func CostTable() []CostRow {
+	toKB := func(bits int) float64 { return float64(bits) / 8 / 1024 }
+	return []CostRow{
+		{
+			Predictor:   "gshare",
+			SmallParams: "m = 13",
+			BigParams:   "m = 16",
+			SmallKB:     toKB(NewGshareSmall().CostBits()),
+			BigKB:       toKB(NewGshareBig().CostBits()),
+		},
+		{
+			Predictor:   "tournament",
+			SmallParams: "n = 10, m = 8",
+			BigParams:   "n = 12, m = 14",
+			SmallKB:     toKB(NewTournamentSmall().CostBits()),
+			BigKB:       toKB(NewTournamentBig().CostBits()),
+		},
+		{
+			Predictor:   "TAGE",
+			SmallParams: "2 tables (hist 4, 16)",
+			BigParams:   "12 tables (hist 4..640)",
+			SmallKB:     toKB(NewTAGESmall().CostBits()),
+			BigKB:       toKB(NewTAGEBig().CostBits()),
+		},
+	}
+}
+
+// LoopPredictorCostBytes returns the loop predictor's cost in bytes; the
+// paper budgets approximately 512B for its 64 entries.
+func LoopPredictorCostBytes() float64 {
+	return float64(NewLoopPredictor().CostBits()) / 8
+}

@@ -1,0 +1,142 @@
+package bpred
+
+import (
+	"rebalance/internal/isa"
+)
+
+// Result accumulates the measurements the paper reports for one predictor
+// on one workload: mispredictions per kilo-instruction (Figure 5), split by
+// serial/parallel phase, and broken down by the actual branch direction —
+// not taken, taken backward, taken forward (Figure 6).
+type Result struct {
+	// Name is the predictor configuration name.
+	Name string
+	// Insts counts all dynamic instructions per phase (0 serial, 1
+	// parallel); the MPKI denominator.
+	Insts [2]int64
+	// Branches counts conditional branches per phase.
+	Branches [2]int64
+	// Miss counts mispredictions per phase and actual direction.
+	Miss [2][isa.NumDirections]int64
+}
+
+// Mispredicts returns total mispredictions over both phases.
+func (r *Result) Mispredicts() int64 {
+	var m int64
+	for p := 0; p < 2; p++ {
+		for d := 0; d < isa.NumDirections; d++ {
+			m += r.Miss[p][d]
+		}
+	}
+	return m
+}
+
+// MPKI returns mispredictions per kilo-instruction over the whole stream.
+func (r *Result) MPKI() float64 { return r.mpkiPhases(0, 1) }
+
+// MPKISerial returns MPKI over serial sections only.
+func (r *Result) MPKISerial() float64 { return r.mpkiPhases(0) }
+
+// MPKIParallel returns MPKI over parallel sections only.
+func (r *Result) MPKIParallel() float64 { return r.mpkiPhases(1) }
+
+func (r *Result) mpkiPhases(phases ...int) float64 {
+	var insts, miss int64
+	for _, p := range phases {
+		insts += r.Insts[p]
+		for d := 0; d < isa.NumDirections; d++ {
+			miss += r.Miss[p][d]
+		}
+	}
+	if insts == 0 {
+		return 0
+	}
+	return 1000 * float64(miss) / float64(insts)
+}
+
+// MPKIByDirection returns the Figure 6 breakdown: the MPKI contribution of
+// mispredictions on branches whose actual outcome was the given direction.
+func (r *Result) MPKIByDirection(d isa.Direction) float64 {
+	insts := r.Insts[0] + r.Insts[1]
+	if insts == 0 {
+		return 0
+	}
+	miss := r.Miss[0][d] + r.Miss[1][d]
+	return 1000 * float64(miss) / float64(insts)
+}
+
+// MissRate returns mispredictions per conditional branch.
+func (r *Result) MissRate() float64 {
+	b := r.Branches[0] + r.Branches[1]
+	if b == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts()) / float64(b)
+}
+
+// Sim drives one or more predictors over a single instruction stream, the
+// way the paper's branch-prediction pintool evaluates several configurations
+// in one instrumented run. It implements trace.Observer.
+type Sim struct {
+	preds   []Predictor
+	results []Result
+	insts   [2]int64
+}
+
+// NewSim returns a simulator for the given predictor configurations.
+func NewSim(preds ...Predictor) *Sim {
+	s := &Sim{preds: preds, results: make([]Result, len(preds))}
+	for i, p := range preds {
+		s.results[i].Name = p.Name()
+	}
+	return s
+}
+
+// Observe implements trace.Observer.
+func (s *Sim) Observe(in isa.Inst) {
+	p := 0
+	if !in.Serial {
+		p = 1
+	}
+	s.insts[p]++
+	if !in.Kind.IsConditional() {
+		return
+	}
+	dir := in.BranchDirection()
+	for i, pred := range s.preds {
+		predicted := pred.Access(in.PC, in.Taken)
+		s.results[i].Branches[p]++
+		if predicted != in.Taken {
+			s.results[i].Miss[p][dir]++
+		}
+	}
+}
+
+// Results returns the per-predictor results with instruction counts filled
+// in.
+func (s *Sim) Results() []Result {
+	out := make([]Result, len(s.results))
+	copy(out, s.results)
+	for i := range out {
+		out[i].Insts = s.insts
+	}
+	return out
+}
+
+// StandardConfigs returns the nine predictor configurations of Figure 5, in
+// the figure's order: gshare-big, tournament-big, tage-big, gshare-small,
+// tournament-small, tage-small, L-gshare-small, L-tournament-small,
+// L-tage-small.
+func StandardConfigs() []Predictor {
+	return []Predictor{
+		NewGshareBig(),
+		NewTournamentBig(),
+		NewTAGEBig(),
+		NewGshareSmall(),
+		NewTournamentSmall(),
+		NewTAGESmall(),
+		NewWithLoop(NewGshareSmall()),
+		NewWithLoop(NewTournamentSmall()),
+		NewWithLoop(NewTAGESmall()),
+	}
+}

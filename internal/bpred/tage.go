@@ -1,0 +1,376 @@
+package bpred
+
+import (
+	"fmt"
+
+	"rebalance/internal/isa"
+)
+
+// TAGE is the TAgged GEometric-history-length predictor (Seznec & Michaud):
+// a bimodal base predictor plus a set of partially tagged tables indexed
+// with hashes of geometrically increasing global-history lengths. The
+// longest-history matching table provides the prediction; tags eliminate
+// the destructive aliasing that plagues gshare-style tables, which is
+// exactly the property the paper highlights in Section IV-A.
+//
+// Per Table II / the L-TAGE paper, the "big" (~16KB) configuration uses 12
+// tagged tables and the "small" (~2KB) configuration uses 2 tables with
+// history lengths 4 and 16 and roughly 3x fewer entries per table.
+type TAGE struct {
+	name string
+
+	base   *Bimodal
+	tables []*tageTable
+
+	// Global history as a circular bit buffer; long enough for the longest
+	// geometric history length.
+	ghist    []uint8
+	ghistPos int // position of the most recent bit
+
+	// pathHist folds low PC bits of recent branches into index hashes.
+	pathHist uint64
+
+	// useAltOnNA biases toward the alternate prediction when the provider
+	// entry is newly allocated (weak); 4-bit signed counter.
+	useAltOnNA int
+
+	// lfsr drives the allocation tie-break, deterministic across runs.
+	lfsr uint32
+
+	// accesses triggers the periodic useful-bit aging.
+	accesses uint64
+
+	// Per-access scratch, preallocated to keep Access allocation-free.
+	scratchIdx []uint64
+	scratchTag []uint16
+}
+
+type tageTable struct {
+	histLen  int
+	logSize  uint
+	tagBits  uint
+	tag      []uint16
+	ctr      []int8  // 3-bit signed, taken when >= 0
+	useful   []uint8 // 2-bit
+	foldIdx  *folded
+	foldTag1 *folded
+	foldTag2 *folded
+}
+
+// folded maintains an incrementally folded (compressed) copy of the global
+// history, as in Seznec's reference implementation.
+type folded struct {
+	comp    uint64
+	compLen uint
+	histLen int
+	outPt   uint
+}
+
+func newFolded(histLen int, compLen uint) *folded {
+	return &folded{compLen: compLen, histLen: histLen, outPt: uint(histLen) % compLen}
+}
+
+func (f *folded) update(newBit, oldBit uint64) {
+	f.comp = (f.comp << 1) | newBit
+	f.comp ^= oldBit << f.outPt
+	f.comp ^= f.comp >> f.compLen
+	f.comp &= (1 << f.compLen) - 1
+}
+
+func (f *folded) reset() { f.comp = 0 }
+
+// tageSpec describes one tagged table.
+type tageSpec struct {
+	HistLen int
+	LogSize uint
+	TagBits uint
+}
+
+// NewTAGE builds a TAGE predictor from explicit table specs and a bimodal
+// base of 2^baseLog entries. Specs must be ordered by increasing history
+// length.
+func NewTAGE(name string, baseLog uint, specs []tageSpec) *TAGE {
+	t := &TAGE{
+		name: name,
+		base: NewBimodal(name+"-base", baseLog),
+		lfsr: 0xACE1,
+	}
+	maxHist := 0
+	for i, s := range specs {
+		if s.HistLen <= 0 || (i > 0 && s.HistLen <= specs[i-1].HistLen) {
+			panic(fmt.Sprintf("bpred: TAGE specs must have increasing history lengths, got %v", specs))
+		}
+		tb := &tageTable{
+			histLen:  s.HistLen,
+			logSize:  s.LogSize,
+			tagBits:  s.TagBits,
+			tag:      make([]uint16, 1<<s.LogSize),
+			ctr:      make([]int8, 1<<s.LogSize),
+			useful:   make([]uint8, 1<<s.LogSize),
+			foldIdx:  newFolded(s.HistLen, s.LogSize),
+			foldTag1: newFolded(s.HistLen, s.TagBits),
+			foldTag2: newFolded(s.HistLen, s.TagBits-1),
+		}
+		t.tables = append(t.tables, tb)
+		if s.HistLen > maxHist {
+			maxHist = s.HistLen
+		}
+	}
+	t.ghist = make([]uint8, maxHist+8)
+	t.scratchIdx = make([]uint64, len(t.tables))
+	t.scratchTag = make([]uint16, len(t.tables))
+	return t
+}
+
+// NewTAGESmall returns the paper's ~2KB configuration: two tagged tables
+// with history lengths 4 and 16 (Table II, footnote 2).
+func NewTAGESmall() *TAGE {
+	return NewTAGE("tage-small", 12, []tageSpec{
+		{HistLen: 4, LogSize: 8, TagBits: 8},
+		{HistLen: 16, LogSize: 8, TagBits: 8},
+	})
+}
+
+// NewTAGEBig returns the paper's ~16KB configuration: 12 tagged tables with
+// geometric history lengths from 4 to 640, half the entries of the 32KB
+// championship configuration (Table II, footnote 2).
+func NewTAGEBig() *TAGE {
+	// Geometric series L(i) = 4 * (640/4)^((i-1)/11), rounded.
+	hist := []int{4, 6, 10, 16, 25, 40, 64, 101, 160, 254, 403, 640}
+	specs := make([]tageSpec, len(hist))
+	for i, h := range hist {
+		tag := uint(9)
+		if i >= 6 {
+			tag = 11
+		}
+		specs[i] = tageSpec{HistLen: h, LogSize: 9, TagBits: tag}
+	}
+	return NewTAGE("tage-big", 13, specs)
+}
+
+// histBit returns the history bit age steps in the past (0 = most recent).
+func (t *TAGE) histBit(age int) uint64 {
+	i := t.ghistPos - age
+	n := len(t.ghist)
+	i = ((i % n) + n) % n
+	return uint64(t.ghist[i])
+}
+
+func (tb *tageTable) index(pc isa.Addr, path uint64) uint64 {
+	mask := uint64(1)<<tb.logSize - 1
+	p := pcIndexBits(pc)
+	return (p ^ (p >> (tb.logSize - 2)) ^ tb.foldIdx.comp ^ (path & mask)) & mask
+}
+
+func (tb *tageTable) tagOf(pc isa.Addr) uint16 {
+	mask := uint64(1)<<tb.tagBits - 1
+	p := pcIndexBits(pc)
+	return uint16((p ^ tb.foldTag1.comp ^ (tb.foldTag2.comp << 1)) & mask)
+}
+
+func (t *TAGE) rand() uint32 {
+	// 16-bit Galois LFSR: deterministic, cheap, good enough for the
+	// allocation tie-break.
+	lsb := t.lfsr & 1
+	t.lfsr >>= 1
+	if lsb != 0 {
+		t.lfsr ^= 0xB400
+	}
+	return t.lfsr
+}
+
+// Access implements Predictor.
+func (t *TAGE) Access(pc isa.Addr, taken bool) bool {
+	t.accesses++
+
+	// Compute per-table index and tag; find provider and alternate.
+	provider, altProvider := -1, -1
+	var provIdx, altIdx uint64
+	idxs := t.scratchIdx
+	tags := t.scratchTag
+	for i, tb := range t.tables {
+		idxs[i] = tb.index(pc, t.pathHist)
+		tags[i] = tb.tagOf(pc)
+	}
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		if t.tables[i].tag[idxs[i]] == tags[i] {
+			if provider < 0 {
+				provider = i
+				provIdx = idxs[i]
+			} else {
+				altProvider = i
+				altIdx = idxs[i]
+				break
+			}
+		}
+	}
+
+	basePred := t.base.predict(pc)
+	altPred := basePred
+	if altProvider >= 0 {
+		altPred = t.tables[altProvider].ctr[altIdx] >= 0
+	}
+
+	pred := altPred
+	providerWeak := false
+	if provider >= 0 {
+		c := t.tables[provider].ctr[provIdx]
+		providerWeak = (c == 0 || c == -1) && t.tables[provider].useful[provIdx] == 0
+		if providerWeak && t.useAltOnNA >= 0 {
+			pred = altPred
+		} else {
+			pred = c >= 0
+		}
+	}
+
+	// --- Update ---
+	correct := pred == taken
+	if provider >= 0 {
+		tb := t.tables[provider]
+		provPred := tb.ctr[provIdx] >= 0
+		if providerWeak && provPred != altPred {
+			// Track whether the alternate beats newly allocated entries.
+			if altPred == taken {
+				if t.useAltOnNA < 7 {
+					t.useAltOnNA++
+				}
+			} else if t.useAltOnNA > -8 {
+				t.useAltOnNA--
+			}
+		}
+		// Useful bit: provider differed from alternate and was right.
+		if provPred != altPred {
+			if provPred == taken {
+				if tb.useful[provIdx] < 3 {
+					tb.useful[provIdx]++
+				}
+			} else if tb.useful[provIdx] > 0 {
+				tb.useful[provIdx]--
+			}
+		}
+		// Train the provider counter.
+		tb.ctr[provIdx] = ctr3Update(tb.ctr[provIdx], taken)
+		// Also train the alternate when the provider entry is still weak.
+		if providerWeak {
+			if altProvider >= 0 {
+				atb := t.tables[altProvider]
+				atb.ctr[altIdx] = ctr3Update(atb.ctr[altIdx], taken)
+			} else {
+				t.base.update(pc, taken)
+			}
+		}
+	} else {
+		t.base.update(pc, taken)
+	}
+
+	// Allocate a longer-history entry on misprediction.
+	if !correct && provider < len(t.tables)-1 {
+		start := provider + 1
+		// Seznec's tie-break: sometimes skip the first candidate so
+		// allocations spread across history lengths.
+		if start < len(t.tables)-1 && t.rand()&1 == 0 {
+			start++
+		}
+		allocated := false
+		for i := start; i < len(t.tables); i++ {
+			tb := t.tables[i]
+			if tb.useful[idxs[i]] == 0 {
+				tb.tag[idxs[i]] = tags[i]
+				if taken {
+					tb.ctr[idxs[i]] = 0
+				} else {
+					tb.ctr[idxs[i]] = -1
+				}
+				tb.useful[idxs[i]] = 0
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			// All candidates useful: age them so future allocations can
+			// succeed.
+			for i := provider + 1; i < len(t.tables); i++ {
+				tb := t.tables[i]
+				if tb.useful[idxs[i]] > 0 {
+					tb.useful[idxs[i]]--
+				}
+			}
+		}
+	}
+
+	// Periodic aging of useful bits.
+	if t.accesses&(1<<18-1) == 0 {
+		for _, tb := range t.tables {
+			for i := range tb.useful {
+				tb.useful[i] >>= 1
+			}
+		}
+	}
+
+	// Advance global, folded, and path histories.
+	t.ghistPos = (t.ghistPos + 1) % len(t.ghist)
+	bit := uint8(0)
+	if taken {
+		bit = 1
+	}
+	t.ghist[t.ghistPos] = bit
+	for _, tb := range t.tables {
+		old := t.histBit(tb.histLen)
+		tb.foldIdx.update(uint64(bit), old)
+		tb.foldTag1.update(uint64(bit), old)
+		tb.foldTag2.update(uint64(bit), old)
+	}
+	t.pathHist = (t.pathHist << 1) | (uint64(pc) >> 2 & 1)
+
+	return pred
+}
+
+// ctr3Update moves a 3-bit signed counter (-4..3) toward the outcome.
+func ctr3Update(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -4 {
+		return c - 1
+	}
+	return c
+}
+
+// Name implements Predictor.
+func (t *TAGE) Name() string { return t.name }
+
+// CostBits implements Predictor: tagged entries cost tag + 3-bit counter +
+// 2-bit useful; the base costs 2 bits per entry.
+func (t *TAGE) CostBits() int {
+	bits := t.base.CostBits()
+	for _, tb := range t.tables {
+		bits += len(tb.tag) * (int(tb.tagBits) + 3 + 2)
+	}
+	return bits
+}
+
+// Reset implements Predictor.
+func (t *TAGE) Reset() {
+	t.base.Reset()
+	t.pathHist = 0
+	t.ghistPos = 0
+	t.useAltOnNA = 0
+	t.lfsr = 0xACE1
+	t.accesses = 0
+	for i := range t.ghist {
+		t.ghist[i] = 0
+	}
+	for _, tb := range t.tables {
+		for i := range tb.tag {
+			tb.tag[i] = 0
+			tb.ctr[i] = 0
+			tb.useful[i] = 0
+		}
+		tb.foldIdx.reset()
+		tb.foldTag1.reset()
+		tb.foldTag2.reset()
+	}
+}

@@ -1,0 +1,175 @@
+// Package btb implements the branch target buffer simulator of Section IV-B:
+// a set-associative cache, indexed by branch address with simple modulo
+// indexing (the paper points to this as the source of aliasing that makes
+// high associativity matter for ExMatEx), storing the target of taken
+// branches. A BTB miss is a taken branch whose entry is absent at fetch.
+//
+// Following the paper, only branches resolved taken are allocated: not-taken
+// branches continue fetching from the next sequential instruction and need
+// no entry.
+package btb
+
+import (
+	"fmt"
+
+	"rebalance/internal/isa"
+)
+
+// tagShift drops the index bits when forming tags; a full tag is kept so
+// aliased hits cannot occur (as in a real BTB with complete tags).
+type entry struct {
+	valid bool
+	tag   uint64
+	// target is stored for interface completeness; the simulator only
+	// needs presence to decide hit/miss.
+	target isa.Addr
+	lru    uint32
+}
+
+// BTB is a set-associative branch target buffer with true-LRU replacement.
+type BTB struct {
+	entries int
+	ways    int
+	sets    int
+	data    []entry
+	clock   uint32
+
+	// Counters, per phase (0 serial, 1 parallel).
+	insts  [2]int64
+	lookup [2]int64
+	miss   [2]int64
+}
+
+// New returns a BTB with the given total entries and associativity.
+// Entries must be divisible by ways.
+func New(entries, ways int) *BTB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("btb: invalid geometry %d entries, %d ways", entries, ways))
+	}
+	return &BTB{
+		entries: entries,
+		ways:    ways,
+		sets:    entries / ways,
+		data:    make([]entry, entries),
+	}
+}
+
+// Name describes the configuration as the Figure 7 legend does.
+func (b *BTB) Name() string {
+	if b.entries >= 1024 && b.entries%1024 == 0 {
+		return fmt.Sprintf("%dK-entry, %d-way", b.entries/1024, b.ways)
+	}
+	return fmt.Sprintf("%d-entry, %d-way", b.entries, b.ways)
+}
+
+// Entries returns the total entry count.
+func (b *BTB) Entries() int { return b.entries }
+
+// Ways returns the associativity.
+func (b *BTB) Ways() int { return b.ways }
+
+// index computes the set index from the branch address: the paper's
+// "simple modulo indexing".
+func (b *BTB) index(pc isa.Addr) int {
+	return int((uint64(pc) >> 2) % uint64(b.sets))
+}
+
+func (b *BTB) tag(pc isa.Addr) uint64 { return uint64(pc) >> 2 }
+
+// Observe implements trace.Observer: every instruction counts toward MPKI;
+// taken branches probe and allocate.
+func (b *BTB) Observe(in isa.Inst) {
+	p := 0
+	if !in.Serial {
+		p = 1
+	}
+	b.insts[p]++
+	if !in.Kind.IsBranch() || !in.Taken {
+		return
+	}
+	b.lookup[p]++
+	b.clock++
+	set := b.index(in.PC)
+	tag := b.tag(in.PC)
+	base := set * b.ways
+	for w := 0; w < b.ways; w++ {
+		e := &b.data[base+w]
+		if e.valid && e.tag == tag {
+			e.lru = b.clock
+			e.target = in.Target
+			return // hit
+		}
+	}
+	b.miss[p]++
+	victim := base
+	for w := 0; w < b.ways; w++ {
+		e := &b.data[base+w]
+		if !e.valid {
+			victim = base + w
+			break
+		}
+		if e.lru < b.data[victim].lru {
+			victim = base + w
+		}
+	}
+	b.data[victim] = entry{valid: true, tag: tag, target: in.Target, lru: b.clock}
+}
+
+// MPKI returns BTB misses per kilo-instruction over the whole stream.
+func (b *BTB) MPKI() float64 { return b.mpki(0, 1) }
+
+// MPKISerial returns MPKI over serial sections.
+func (b *BTB) MPKISerial() float64 { return b.mpki(0) }
+
+// MPKIParallel returns MPKI over parallel sections.
+func (b *BTB) MPKIParallel() float64 { return b.mpki(1) }
+
+func (b *BTB) mpki(phases ...int) float64 {
+	var insts, miss int64
+	for _, p := range phases {
+		insts += b.insts[p]
+		miss += b.miss[p]
+	}
+	if insts == 0 {
+		return 0
+	}
+	return 1000 * float64(miss) / float64(insts)
+}
+
+// MissRate returns misses per taken-branch lookup.
+func (b *BTB) MissRate() float64 {
+	l := b.lookup[0] + b.lookup[1]
+	if l == 0 {
+		return 0
+	}
+	return float64(b.miss[0]+b.miss[1]) / float64(l)
+}
+
+// Lookups returns the number of taken-branch probes.
+func (b *BTB) Lookups() int64 { return b.lookup[0] + b.lookup[1] }
+
+// Misses returns the number of BTB misses.
+func (b *BTB) Misses() int64 { return b.miss[0] + b.miss[1] }
+
+// Reset clears contents and counters.
+func (b *BTB) Reset() {
+	for i := range b.data {
+		b.data[i] = entry{}
+	}
+	b.clock = 0
+	b.insts = [2]int64{}
+	b.lookup = [2]int64{}
+	b.miss = [2]int64{}
+}
+
+// StandardConfigs returns the nine Figure 7 configurations: {256, 512, 1K}
+// entries x {2, 4, 8} ways.
+func StandardConfigs() []*BTB {
+	var out []*BTB
+	for _, entries := range []int{256, 512, 1024} {
+		for _, ways := range []int{2, 4, 8} {
+			out = append(out, New(entries, ways))
+		}
+	}
+	return out
+}

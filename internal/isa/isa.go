@@ -1,0 +1,162 @@
+// Package isa defines the abstract instruction model shared by the workload
+// synthesizer, the trace executor, the characterization "pintools", and the
+// hardware-structure simulators.
+//
+// The paper instruments native x86 binaries with Pin; every analysis it
+// performs consumes only the dynamic instruction stream — addresses, sizes,
+// branch kinds, outcomes, and targets. This package models exactly that
+// stream. Opcodes and operands are deliberately absent: they never influence
+// any result in the paper. Instruction *sizes in bytes* are modeled because
+// they determine instruction footprints and I-cache behaviour.
+package isa
+
+import "fmt"
+
+// Addr is a virtual address in the synthetic address space.
+type Addr uint64
+
+// Kind classifies an instruction the way the paper's branch-mix pintool does
+// (Figure 1): conditional and unconditional direct branches, indirect
+// branches, direct and indirect calls, returns, system calls, and everything
+// else.
+type Kind uint8
+
+const (
+	// KindOther is any non-control-flow instruction (ALU, load, store, ...).
+	KindOther Kind = iota
+	// KindCondDirect is a conditional direct branch (the dominant kind).
+	KindCondDirect
+	// KindUncondDirect is an unconditional direct branch (jmp).
+	KindUncondDirect
+	// KindIndirectBranch is an indirect jump through a register or memory.
+	KindIndirectBranch
+	// KindCall is a direct call.
+	KindCall
+	// KindIndirectCall is an indirect call (function pointer, virtual call).
+	KindIndirectCall
+	// KindReturn is a return instruction.
+	KindReturn
+	// KindSyscall is a system call instruction.
+	KindSyscall
+
+	numKinds
+)
+
+// NumKinds is the number of distinct instruction kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [NumKinds]string{
+	"other",
+	"cond-direct",
+	"uncond-direct",
+	"indirect-branch",
+	"call",
+	"indirect-call",
+	"return",
+	"syscall",
+}
+
+// String returns the short human-readable name of the kind.
+func (k Kind) String() string {
+	if int(k) < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsBranch reports whether the kind is any control-flow instruction;
+// this matches the paper's "branch instructions" denominator in Figure 1.
+func (k Kind) IsBranch() bool { return k != KindOther }
+
+// IsConditional reports whether the kind is a conditional direct branch,
+// the population studied in Figure 2 and Table I.
+func (k Kind) IsConditional() bool { return k == KindCondDirect }
+
+// IsIndirect reports whether the instruction's target comes from a register
+// or memory rather than the instruction encoding.
+func (k Kind) IsIndirect() bool {
+	return k == KindIndirectBranch || k == KindIndirectCall || k == KindReturn
+}
+
+// NeedsBTB reports whether a taken instance of this kind needs a branch
+// target buffer entry to deliver its target in the fetch stage.
+func (k Kind) NeedsBTB() bool { return k.IsBranch() }
+
+// Inst is one dynamic instruction as observed by the instrumentation layer.
+//
+// For non-branch instructions only PC, Size, and Phase are meaningful.
+// For branches, Taken/Target/Outcome fields describe the resolved outcome.
+type Inst struct {
+	// PC is the instruction's virtual address.
+	PC Addr
+	// Size is the instruction length in bytes (1..15 on x86).
+	Size uint8
+	// Kind classifies the instruction.
+	Kind Kind
+	// Taken reports whether a branch was taken. Unconditional branches,
+	// calls, returns and syscalls are always taken. Meaningless for
+	// KindOther.
+	Taken bool
+	// Target is the resolved control-flow target of a taken branch.
+	Target Addr
+	// Serial reports whether the instruction executed in a serial
+	// (sequential) code section, as opposed to inside a parallel region.
+	Serial bool
+}
+
+// NextPC returns the address of the next executed instruction.
+func (in *Inst) NextPC() Addr {
+	if in.Kind.IsBranch() && in.Taken {
+		return in.Target
+	}
+	return in.PC + Addr(in.Size)
+}
+
+// FallThrough returns the address immediately after the instruction.
+func (in *Inst) FallThrough() Addr { return in.PC + Addr(in.Size) }
+
+// IsBackward reports whether a taken branch jumps to a lower address.
+// The paper's Table I splits taken branches into backward and forward.
+func (in *Inst) IsBackward() bool { return in.Taken && in.Target < in.PC }
+
+// Direction labels the resolved direction of a branch for misprediction
+// breakdowns (Figure 6).
+type Direction uint8
+
+const (
+	// DirNotTaken is a branch that fell through.
+	DirNotTaken Direction = iota
+	// DirTakenBackward is a taken branch targeting a lower address.
+	DirTakenBackward
+	// DirTakenForward is a taken branch targeting a higher address.
+	DirTakenForward
+
+	numDirections
+)
+
+// NumDirections is the number of branch direction classes.
+const NumDirections = int(numDirections)
+
+// String returns the human-readable direction name.
+func (d Direction) String() string {
+	switch d {
+	case DirNotTaken:
+		return "not-taken"
+	case DirTakenBackward:
+		return "taken-backward"
+	case DirTakenForward:
+		return "taken-forward"
+	}
+	return fmt.Sprintf("direction(%d)", uint8(d))
+}
+
+// BranchDirection classifies a resolved branch instance.
+func (in *Inst) BranchDirection() Direction {
+	if !in.Taken {
+		return DirNotTaken
+	}
+	if in.Target < in.PC {
+		return DirTakenBackward
+	}
+	return DirTakenForward
+}

@@ -1,0 +1,253 @@
+// Package trace executes a program model and emits the dynamic instruction
+// stream to registered observers — the equivalent of Pin driving pintools in
+// the paper's methodology. Observers are the analysis routines (package
+// analysis) and hardware-structure simulators (packages bpred, btb, icache,
+// frontend); several observers can share one pass over the stream, just as
+// several pintool analysis callbacks share one instrumented run.
+//
+// The executor is deterministic: for a fixed program and seed, every run
+// emits a bit-identical stream regardless of how many observers watch it.
+package trace
+
+import (
+	"fmt"
+
+	"rebalance/internal/isa"
+	"rebalance/internal/program"
+	"rebalance/internal/rng"
+)
+
+// Observer consumes the dynamic instruction stream.
+type Observer interface {
+	// Observe is called once per dynamic instruction, in program order.
+	Observe(in isa.Inst)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(in isa.Inst)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(in isa.Inst) { f(in) }
+
+// maxCallDepth bounds the synthetic call stack; the structured program
+// model cannot recurse, so hitting this indicates a model bug.
+const maxCallDepth = 1024
+
+// Executor walks a laid-out program and emits its instruction stream.
+type Executor struct {
+	prog      *program.Program
+	seed      uint64
+	observers []Observer
+
+	// Per-branch-site private RNG streams, created lazily. Keyed by the
+	// dense site ID so the stream a site sees is independent of every
+	// other site's consumption.
+	siteRNG []*rng.RNG
+	// Per-site dynamic execution counts (input to Behavior models).
+	siteCount []uint64
+	// Per-loop execution counts, keyed by the loop back-edge's site ID.
+	loopCount []uint64
+	// hist is the global conditional-branch history register
+	// (bit 0 = most recent outcome, 1 = taken).
+	hist uint64
+	// emitted counts dynamic instructions emitted so far.
+	emitted int64
+	// budget is the emission target for the current Run.
+	budget int64
+	// serial tags instructions with the current phase.
+	serial bool
+	// stack holds return addresses for calls in flight.
+	stack []isa.Addr
+	err   error
+}
+
+// NewExecutor builds an executor for a laid-out program. The seed isolates
+// the run's stochastic choices; use the same seed to replay a stream.
+func NewExecutor(p *program.Program, seed uint64) *Executor {
+	return &Executor{
+		prog:      p,
+		seed:      seed,
+		siteRNG:   make([]*rng.RNG, p.NumSites),
+		siteCount: make([]uint64, p.NumSites),
+		loopCount: make([]uint64, p.NumSites),
+	}
+}
+
+// Attach registers observers for subsequent runs.
+func (e *Executor) Attach(obs ...Observer) {
+	e.observers = append(e.observers, obs...)
+}
+
+// Emitted returns the number of dynamic instructions emitted so far.
+func (e *Executor) Emitted() int64 { return e.emitted }
+
+// Run emits approximately target dynamic instructions by cycling through
+// the program's region schedule. Emission stops at the first region
+// boundary after the target is reached, so the stream always ends in a
+// consistent program state; the overshoot is at most one region's worth of
+// instructions.
+func (e *Executor) Run(target int64) error {
+	if target <= 0 {
+		return fmt.Errorf("trace: non-positive instruction target %d", target)
+	}
+	if e.prog.NumSites == 0 {
+		return fmt.Errorf("trace: program %q not laid out", e.prog.Name)
+	}
+	e.budget = e.emitted + target
+	for e.emitted < e.budget && e.err == nil {
+		for _, r := range e.prog.Regions {
+			if e.emitted >= e.budget || e.err != nil {
+				break
+			}
+			e.serial = r.Serial
+			for w := 0; w < r.Weight; w++ {
+				e.exec(r.Body)
+				if e.emitted >= e.budget || e.err != nil {
+					break
+				}
+			}
+		}
+	}
+	return e.err
+}
+
+// rngFor returns the site's private RNG, creating it on first use. The
+// stream depends only on the run seed and the site ID.
+func (e *Executor) rngFor(id int) *rng.RNG {
+	r := e.siteRNG[id]
+	if r == nil {
+		r = rng.New(e.seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+		e.siteRNG[id] = r
+	}
+	return r
+}
+
+// emit delivers one instruction to every observer.
+func (e *Executor) emit(in isa.Inst) {
+	in.Serial = e.serial
+	for _, o := range e.observers {
+		o.Observe(in)
+	}
+	e.emitted++
+}
+
+// emitBlock emits a straight-line run of non-branch instructions.
+func (e *Executor) emitBlock(b *program.Block) {
+	pc := b.Addr
+	for _, sz := range b.Sizes {
+		e.emit(isa.Inst{PC: pc, Size: sz, Kind: isa.KindOther})
+		pc += isa.Addr(sz)
+	}
+}
+
+// emitBranch emits a resolved branch instance and updates global history
+// for conditional branches.
+func (e *Executor) emitBranch(br *program.Branch, taken bool, target isa.Addr) {
+	e.emit(isa.Inst{PC: br.PC, Size: br.Size, Kind: br.Kind, Taken: taken, Target: target})
+	if br.Kind == isa.KindCondDirect {
+		e.hist <<= 1
+		if taken {
+			e.hist |= 1
+		}
+	}
+	e.siteCount[br.ID]++
+}
+
+// exec walks one node, emitting its dynamic instructions.
+func (e *Executor) exec(n program.Node) {
+	// Budget checks at construct granularity keep the emitted stream
+	// structurally consistent without per-instruction overhead.
+	if e.err != nil || e.emitted >= e.budget {
+		return
+	}
+	switch v := n.(type) {
+	case nil:
+	case *program.Seq:
+		for _, c := range v.Nodes {
+			if e.emitted >= e.budget || e.err != nil {
+				return
+			}
+			e.exec(c)
+		}
+	case *program.Straight:
+		e.emitBlock(v.Block)
+	case *program.Loop:
+		id := v.Back.ID
+		n := v.Iters.Next(e.loopCount[id], e.rngFor(id))
+		e.loopCount[id]++
+		for i := 0; i < n; i++ {
+			e.exec(v.Body)
+			cont := i < n-1
+			if e.emitted >= e.budget || e.err != nil {
+				cont = false // close the loop cleanly when out of budget
+			}
+			e.emitBranch(v.Back, cont, v.Back.Target)
+			if !cont {
+				break
+			}
+		}
+	case *program.If:
+		taken := v.Cond.Behavior.Next(e.siteCount[v.Cond.ID], e.hist, e.rngFor(v.Cond.ID))
+		e.emitBranch(v.Cond, taken, v.Cond.Target)
+		if taken {
+			if v.Else != nil {
+				e.exec(v.Else)
+			}
+			return
+		}
+		e.exec(v.Then)
+		if v.Else != nil {
+			e.emitBranch(v.SkipJump, true, v.SkipJump.Target)
+		}
+	case *program.Call:
+		e.call(v.Site, v.Callee)
+	case *program.IndirectCall:
+		var callee *program.Func
+		if len(v.Pattern) > 0 {
+			callee = v.Callees[v.Pattern[e.siteCount[v.Site.ID]%uint64(len(v.Pattern))]]
+		} else {
+			callee = v.Callees[e.rngFor(v.Site.ID).Choice(v.Weights)]
+		}
+		e.call(v.Site, callee)
+	case *program.Switch:
+		idx := e.rngFor(v.Site.ID).Choice(v.Weights)
+		e.emitBranch(v.Site, true, v.CaseAddrs[idx])
+		e.exec(v.Cases[idx])
+		e.emitBranch(v.CaseJumps[idx], true, v.CaseJumps[idx].Target)
+	case *program.Syscall:
+		// Control returns to the next instruction; the kernel's
+		// instructions are not part of the user-level stream Pin sees
+		// by default.
+		e.emitBranch(v.Site, false, 0)
+	default:
+		e.fail(fmt.Errorf("trace: unknown node type %T", n))
+	}
+}
+
+// call emits a call, executes the callee, and emits its return.
+func (e *Executor) call(site *program.Branch, callee *program.Func) {
+	if len(e.stack) >= maxCallDepth {
+		e.fail(fmt.Errorf("trace: call depth exceeds %d (recursive model?)", maxCallDepth))
+		return
+	}
+	retAddr := site.PC + isa.Addr(site.Size)
+	e.emitBranch(site, true, callee.Entry)
+	e.stack = append(e.stack, retAddr)
+	e.exec(callee.Body)
+	e.stack = e.stack[:len(e.stack)-1]
+	e.emitBranch(callee.Ret, true, retAddr)
+}
+
+func (e *Executor) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Run is a convenience that executes prog for about target instructions,
+// delivering the stream to the given observers.
+func Run(p *program.Program, seed uint64, target int64, obs ...Observer) error {
+	e := NewExecutor(p, seed)
+	e.Attach(obs...)
+	return e.Run(target)
+}
