@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet fmt ci bench bench-go bench-sweep
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+ci: fmt vet build test
+
+# bench emits the machine-readable benchmark report consumed for
+# BENCH_*.json trajectory tracking (throughput sweep + engine calibration),
+# and prints the Go micro-benchmarks for the hot paths.
+bench: bench-go bench-sweep
+
+bench-go:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/...
+
+bench-sweep:
+	$(GO) run ./cmd/rebalance-bench -seeds 4 -insts 2000000 -calibrate 4000000 -out BENCH_results.json
+	@echo "wrote BENCH_results.json"

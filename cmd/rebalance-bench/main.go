@@ -1,0 +1,372 @@
+// Command rebalance-bench is the parallel sweep and benchmark harness: it
+// runs a {workload x seed x predictor-config} shard grid across a worker
+// pool (one compiled-program executor per goroutine, workloads compiled
+// once and shared), merges per-shard results, measures the compiled engine
+// against the retained tree-walk reference, and prints one machine-readable
+// JSON report suitable for BENCH_*.json trajectory tracking.
+//
+// Usage:
+//
+//	rebalance-bench [-workloads comd-lite,xalan-lite] [-seeds 4]
+//	                [-insts 2000000] [-workers N] [-calibrate 2000000]
+//	                [-out report.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rebalance/internal/bpred"
+	"rebalance/internal/stats"
+	"rebalance/internal/trace"
+	"rebalance/internal/workload"
+)
+
+// shardSpec names one unit of work: one predictor configuration driven over
+// one workload stream with one seed.
+type shardSpec struct {
+	workload string
+	seed     uint64
+	predIdx  int
+}
+
+// shardResult is the JSON record for one completed shard.
+type shardResult struct {
+	Workload     string  `json:"workload"`
+	Seed         uint64  `json:"seed"`
+	Predictor    string  `json:"predictor"`
+	CostBits     int     `json:"cost_bits"`
+	Insts        int64   `json:"insts"`
+	ElapsedNS    int64   `json:"elapsed_ns"`
+	MInstsPerSec float64 `json:"minsts_per_sec"`
+	MPKI         float64 `json:"mpki"`
+	MPKISerial   float64 `json:"mpki_serial"`
+	MPKIParallel float64 `json:"mpki_parallel"`
+	MissRate     float64 `json:"miss_rate"`
+}
+
+// aggregate folds one predictor's shards (all seeds) on one workload.
+type aggregate struct {
+	Workload     string  `json:"workload"`
+	Predictor    string  `json:"predictor"`
+	Seeds        int     `json:"seeds"`
+	MeanMPKI     float64 `json:"mean_mpki"`
+	MergedMPKI   float64 `json:"merged_mpki"`
+	MeanMInstsPS float64 `json:"mean_minsts_per_sec"`
+}
+
+// calibration reports the compiled-versus-reference engine comparison,
+// measured in this same run on this same machine.
+type calibration struct {
+	Insts                int64   `json:"insts"`
+	ReferenceMInstsPS    float64 `json:"reference_minsts_per_sec"`
+	CompiledMInstsPS     float64 `json:"compiled_minsts_per_sec"`
+	CompiledParMInstsPS  float64 `json:"compiled_parallel_minsts_per_sec"`
+	Speedup              float64 `json:"speedup"`
+	SpeedupParallel      float64 `json:"speedup_parallel"`
+	PredictorsPerShard   int     `json:"predictors"`
+	CalibrationWorkload  string  `json:"workload"`
+	ReferenceElapsedNS   int64   `json:"reference_elapsed_ns"`
+	CompiledElapsedNS    int64   `json:"compiled_elapsed_ns"`
+	CompiledParElapsedNS int64   `json:"compiled_parallel_elapsed_ns"`
+}
+
+type report struct {
+	Schema        string        `json:"schema"`
+	GoVersion     string        `json:"go_version"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	Workers       int           `json:"workers"`
+	InstsPerShard int64         `json:"insts_per_shard"`
+	Workloads     []string      `json:"workloads"`
+	Seeds         int           `json:"seeds"`
+	Shards        []shardResult `json:"shards"`
+	Aggregates    []aggregate   `json:"aggregates"`
+	TotalInsts    int64         `json:"total_insts"`
+	WallNS        int64         `json:"wall_ns"`
+	SweepMInstsPS float64       `json:"sweep_minsts_per_sec"`
+	Calibration   *calibration  `json:"calibration,omitempty"`
+}
+
+func main() {
+	var (
+		workloadsFlag = flag.String("workloads", strings.Join(workload.Names(), ","), "comma-separated workload names")
+		seedsFlag     = flag.Int("seeds", 4, "seeds per {workload, predictor} pair")
+		instsFlag     = flag.Int64("insts", 2_000_000, "dynamic instructions per shard")
+		workersFlag   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
+		calibFlag     = flag.Int64("calibrate", 2_000_000, "instructions for the engine calibration run (0 disables)")
+		outFlag       = flag.String("out", "", "write the JSON report to this file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*workloadsFlag, *seedsFlag, *instsFlag, *workersFlag, *calibFlag, *outFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "rebalance-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workloadsCSV string, seeds int, insts int64, workers int, calibInsts int64, out string) error {
+	if seeds < 1 || insts < 1 || workers < 1 {
+		return fmt.Errorf("seeds, insts, and workers must be positive")
+	}
+	names := strings.Split(workloadsCSV, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+
+	// Compile every workload once; executors share the read-only programs.
+	compiled := make(map[string]*trace.Compiled, len(names))
+	for _, name := range names {
+		prog, err := workload.Build(name)
+		if err != nil {
+			return err
+		}
+		c, err := trace.Compile(prog)
+		if err != nil {
+			return err
+		}
+		compiled[name] = c
+	}
+
+	nPreds := bpred.NumStandardConfigs()
+	var specs []shardSpec
+	for _, name := range names {
+		for s := 0; s < seeds; s++ {
+			for p := 0; p < nPreds; p++ {
+				specs = append(specs, shardSpec{workload: name, seed: uint64(s + 1), predIdx: p})
+			}
+		}
+	}
+
+	// Worker pool: one executor per in-flight shard, results merged after
+	// the barrier. Per-shard predictor instances are fresh (power-on state),
+	// so shards are order-independent and the sweep is deterministic up to
+	// timing fields.
+	jobs := make(chan shardSpec)
+	results := make([]shardRecord, 0, len(specs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range jobs {
+				res, err := runShard(compiled[spec.workload], spec, insts)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rebalance-bench: shard %+v: %v\n", spec, err)
+					continue
+				}
+				mu.Lock()
+				results = append(results, res)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, spec := range specs {
+		jobs <- spec
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	if len(results) != len(specs) {
+		return fmt.Errorf("%d of %d shards failed", len(specs)-len(results), len(specs))
+	}
+	sort.Slice(results, func(i, j int) bool {
+		a, b := results[i].shardResult, results[j].shardResult
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Predictor != b.Predictor {
+			return a.Predictor < b.Predictor
+		}
+		return a.Seed < b.Seed
+	})
+	shards := make([]shardResult, len(results))
+	for i, r := range results {
+		shards[i] = r.shardResult
+	}
+
+	rep := report{
+		Schema:        "rebalance-bench/v1",
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       workers,
+		InstsPerShard: insts,
+		Workloads:     names,
+		Seeds:         seeds,
+		Shards:        shards,
+		Aggregates:    aggregateShards(results),
+		WallNS:        wall.Nanoseconds(),
+	}
+	for _, r := range shards {
+		rep.TotalInsts += r.Insts
+	}
+	if wall > 0 {
+		rep.SweepMInstsPS = float64(rep.TotalInsts) / wall.Seconds() / 1e6
+	}
+	if calibInsts > 0 {
+		cal, err := calibrate(compiled[names[0]], calibInsts)
+		if err != nil {
+			return err
+		}
+		rep.Calibration = cal
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+// shardRecord pairs a shard's JSON record with its exact result counters,
+// which the aggregation merges instead of re-deriving counts from rounded
+// ratios.
+type shardRecord struct {
+	shardResult
+	counters bpred.Result
+}
+
+// runShard executes one predictor configuration over one seeded stream.
+func runShard(c *trace.Compiled, spec shardSpec, insts int64) (shardRecord, error) {
+	pred := bpred.StandardConfig(spec.predIdx) // fresh instance, power-on state
+	sim := bpred.NewSim(pred)
+	e := trace.NewCompiledExecutor(c, spec.seed)
+	e.Attach(sim)
+	start := time.Now()
+	if err := e.Run(insts); err != nil {
+		return shardRecord{}, err
+	}
+	elapsed := time.Since(start)
+	r := sim.Results()[0]
+	res := shardResult{
+		Workload:     spec.workload,
+		Seed:         spec.seed,
+		Predictor:    pred.Name(),
+		CostBits:     pred.CostBits(),
+		Insts:        e.Emitted(),
+		ElapsedNS:    elapsed.Nanoseconds(),
+		MPKI:         r.MPKI(),
+		MPKISerial:   r.MPKISerial(),
+		MPKIParallel: r.MPKIParallel(),
+		MissRate:     r.MissRate(),
+	}
+	if elapsed > 0 {
+		res.MInstsPerSec = float64(res.Insts) / elapsed.Seconds() / 1e6
+	}
+	return shardRecord{shardResult: res, counters: r}, nil
+}
+
+// aggregateShards folds seeds: the mean-of-MPKIs (stats.Average, matching
+// how multi-run figures are averaged) and the count-merged MPKI (exact
+// pooled counters via bpred.Result.Merge).
+func aggregateShards(records []shardRecord) []aggregate {
+	type key struct{ w, p string }
+	type accum struct {
+		mpkis  []float64
+		rates  []float64
+		merged bpred.Result
+	}
+	order := []key{}
+	acc := map[key]*accum{}
+	for i := range records {
+		s := &records[i]
+		k := key{s.Workload, s.Predictor}
+		a := acc[k]
+		if a == nil {
+			a = &accum{}
+			acc[k] = a
+			order = append(order, k)
+		}
+		a.mpkis = append(a.mpkis, s.MPKI)
+		a.rates = append(a.rates, s.MInstsPerSec)
+		a.merged.Merge(&s.counters)
+	}
+	out := make([]aggregate, 0, len(order))
+	for _, k := range order {
+		a := acc[k]
+		out = append(out, aggregate{
+			Workload:     k.w,
+			Predictor:    k.p,
+			Seeds:        len(a.mpkis),
+			MeanMPKI:     stats.Average(a.mpkis),
+			MergedMPKI:   a.merged.MPKI(),
+			MeanMInstsPS: stats.Average(a.rates),
+		})
+	}
+	return out
+}
+
+// calibrate measures the three engine configurations — reference tree-walk,
+// compiled serial-batch, compiled with the parallelized nine-predictor
+// simulation — over the same workload, seed, and instruction budget.
+func calibrate(c *trace.Compiled, insts int64) (*calibration, error) {
+	nine := func() *bpred.Sim { return bpred.NewSim(bpred.StandardConfigs()...) }
+
+	refSim := nine()
+	refExec := trace.NewExecutor(c.Program(), 1)
+	refExec.Attach(refSim)
+	refStart := time.Now()
+	if err := refExec.RunReference(insts); err != nil {
+		return nil, err
+	}
+	refElapsed := time.Since(refStart)
+	refInsts := refExec.Emitted()
+
+	serSim := nine()
+	serExec := trace.NewCompiledExecutor(c, 1)
+	serExec.Attach(serSim)
+	serStart := time.Now()
+	if err := serExec.Run(insts); err != nil {
+		return nil, err
+	}
+	serElapsed := time.Since(serStart)
+	serInsts := serExec.Emitted()
+
+	parSim := nine().Parallelize()
+	defer parSim.Close()
+	parExec := trace.NewCompiledExecutor(c, 1)
+	parExec.Attach(parSim)
+	parStart := time.Now()
+	if err := parExec.Run(insts); err != nil {
+		return nil, err
+	}
+	parSim.Results() // include draining the final round
+	parElapsed := time.Since(parStart)
+	parInsts := parExec.Emitted()
+
+	cal := &calibration{
+		Insts:                insts,
+		PredictorsPerShard:   bpred.NumStandardConfigs(),
+		CalibrationWorkload:  c.Program().Name,
+		ReferenceElapsedNS:   refElapsed.Nanoseconds(),
+		CompiledElapsedNS:    serElapsed.Nanoseconds(),
+		CompiledParElapsedNS: parElapsed.Nanoseconds(),
+	}
+	if refElapsed > 0 {
+		cal.ReferenceMInstsPS = float64(refInsts) / refElapsed.Seconds() / 1e6
+	}
+	if serElapsed > 0 {
+		cal.CompiledMInstsPS = float64(serInsts) / serElapsed.Seconds() / 1e6
+	}
+	if parElapsed > 0 {
+		cal.CompiledParMInstsPS = float64(parInsts) / parElapsed.Seconds() / 1e6
+	}
+	if cal.ReferenceMInstsPS > 0 {
+		cal.Speedup = cal.CompiledMInstsPS / cal.ReferenceMInstsPS
+		cal.SpeedupParallel = cal.CompiledParMInstsPS / cal.ReferenceMInstsPS
+	}
+	return cal, nil
+}

@@ -1,0 +1,3 @@
+module rebalance
+
+go 1.22

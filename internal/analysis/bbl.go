@@ -23,6 +23,17 @@ func NewBBL() *BBL { return &BBL{} }
 
 // Observe implements trace.Observer.
 func (a *BBL) Observe(in isa.Inst) {
+	a.observeOne(&in)
+}
+
+// ObserveBatch implements trace.BatchObserver.
+func (a *BBL) ObserveBatch(batch []isa.Inst) {
+	for i := range batch {
+		a.observeOne(&batch[i])
+	}
+}
+
+func (a *BBL) observeOne(in *isa.Inst) {
 	p := phaseIdx(in.Serial)
 	a.curBlock[p] += int64(in.Size)
 	a.curRun[p] += int64(in.Size)

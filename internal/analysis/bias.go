@@ -31,6 +31,17 @@ func NewBias() *Bias {
 
 // Observe implements trace.Observer.
 func (a *Bias) Observe(in isa.Inst) {
+	a.observeOne(&in)
+}
+
+// ObserveBatch implements trace.BatchObserver.
+func (a *Bias) ObserveBatch(batch []isa.Inst) {
+	for i := range batch {
+		a.observeOne(&batch[i])
+	}
+}
+
+func (a *Bias) observeOne(in *isa.Inst) {
 	if !in.Kind.IsConditional() {
 		return
 	}

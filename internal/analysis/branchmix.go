@@ -32,6 +32,16 @@ func (a *BranchMix) Observe(in isa.Inst) {
 	a.kinds[p][in.Kind]++
 }
 
+// ObserveBatch implements trace.BatchObserver.
+func (a *BranchMix) ObserveBatch(batch []isa.Inst) {
+	for i := range batch {
+		in := &batch[i]
+		p := phaseIdx(in.Serial)
+		a.insts[p]++
+		a.kinds[p][in.Kind]++
+	}
+}
+
 // Insts returns the dynamic instruction count for the phase.
 func (a *BranchMix) Insts(p Phase) int64 {
 	switch p {

@@ -34,6 +34,31 @@ func (a *Footprint) Observe(in isa.Inst) {
 	a.chunks[p][uint64(in.PC)/footprintGranularity]++
 }
 
+// ObserveBatch implements trace.BatchObserver. Sequential instructions land
+// in the same chunk, so runs are coalesced into a single map update; the
+// resulting counts are identical to the per-instruction path.
+func (a *Footprint) ObserveBatch(batch []isa.Inst) {
+	var curChunk uint64
+	var curPhase int
+	var run int64
+	for i := range batch {
+		in := &batch[i]
+		p := phaseIdx(in.Serial)
+		ch := uint64(in.PC) / footprintGranularity
+		if run > 0 && ch == curChunk && p == curPhase {
+			run++
+			continue
+		}
+		if run > 0 {
+			a.chunks[curPhase][curChunk] += run
+		}
+		curChunk, curPhase, run = ch, p, 1
+	}
+	if run > 0 {
+		a.chunks[curPhase][curChunk] += run
+	}
+}
+
 // items flattens the phase's chunk map into weighted items.
 func (a *Footprint) items(p Phase) []stats.WeightedItem {
 	merged := make(map[uint64]int64)

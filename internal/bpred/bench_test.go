@@ -1,0 +1,69 @@
+package bpred_test
+
+import (
+	"testing"
+
+	"rebalance/internal/bpred"
+	"rebalance/internal/isa"
+	"rebalance/internal/rng"
+	"rebalance/internal/trace"
+	"rebalance/internal/workload"
+)
+
+// synthBatch builds one BatchSize-sized batch with a paper-plausible mix
+// (~12% conditional branches over a few hundred sites, biased outcomes).
+func synthBatch() []isa.Inst {
+	r := rng.New(99)
+	batch := make([]isa.Inst, trace.BatchSize)
+	pc := isa.Addr(0x400000)
+	for i := range batch {
+		if r.Bool(0.12) {
+			taken := r.Bool(0.7)
+			site := isa.Addr(0x400000 + 4*uint64(r.Intn(400)))
+			batch[i] = isa.Inst{PC: site, Size: 2, Kind: isa.KindCondDirect, Taken: taken, Target: site - 64}
+		} else {
+			batch[i] = isa.Inst{PC: pc, Size: 4, Kind: isa.KindOther}
+		}
+		pc += 4
+	}
+	return batch
+}
+
+// BenchmarkSimNinePredictors measures the batched nine-configuration branch
+// prediction simulation; b.N counts dynamic instructions.
+func BenchmarkSimNinePredictors(b *testing.B) {
+	batch := synthBatch()
+	sim := bpred.NewSim(bpred.StandardConfigs()...)
+	b.ResetTimer()
+	for fed := 0; fed < b.N; fed += len(batch) {
+		sim.ObserveBatch(batch)
+	}
+}
+
+// BenchmarkTAGEAccess measures the big TAGE configuration's Access path on
+// a realistic stream (it dominates the nine-predictor cost).
+func BenchmarkTAGEAccess(b *testing.B) {
+	t := bpred.NewTAGEBig()
+	r := rng.New(7)
+	const sites = 512
+	pcs := make([]isa.Addr, sites)
+	for i := range pcs {
+		pcs[i] = isa.Addr(0x400000 + 4*uint64(r.Intn(8192)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Access(pcs[i%sites], i&3 != 0)
+	}
+}
+
+// BenchmarkSimStream runs the nine predictors over a real workload stream
+// via the compiled executor, the configuration the sweep harness uses.
+func BenchmarkSimStream(b *testing.B) {
+	prog := workload.MustBuild("comd-lite")
+	e := trace.NewExecutor(prog, 1)
+	e.Attach(bpred.NewSim(bpred.StandardConfigs()...))
+	b.ResetTimer()
+	if err := e.Run(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}

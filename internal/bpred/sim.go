@@ -1,6 +1,8 @@
 package bpred
 
 import (
+	"sync"
+
 	"rebalance/internal/isa"
 )
 
@@ -76,11 +78,35 @@ func (r *Result) MissRate() float64 {
 
 // Sim drives one or more predictors over a single instruction stream, the
 // way the paper's branch-prediction pintool evaluates several configurations
-// in one instrumented run. It implements trace.Observer.
+// in one instrumented run. It implements both trace.Observer and
+// trace.BatchObserver; the batch path compacts each batch's conditional
+// branches once and then runs predictor-major, so the stream-filtering and
+// phase bookkeeping cost is paid per batch instead of per predictor per
+// instruction, and each predictor's tables stay hot across the whole batch.
 type Sim struct {
 	preds   []Predictor
 	results []Result
 	insts   [2]int64
+
+	// recs is the reusable per-batch compaction of conditional branches.
+	recs []condRec
+
+	// Parallel-mode state (see Parallelize): one worker goroutine per
+	// predictor, fed the shared compacted record slice, double-buffered so
+	// the executor emits batch N+1 while the predictors consume batch N.
+	par  bool
+	jobs []chan []condRec
+	wg   sync.WaitGroup
+	pbuf [2][]condRec
+	cur  int
+}
+
+// condRec is one conditional branch extracted from a batch.
+type condRec struct {
+	pc    isa.Addr
+	taken bool
+	phase uint8
+	dir   uint8
 }
 
 // NewSim returns a simulator for the given predictor configurations.
@@ -90,6 +116,64 @@ func NewSim(preds ...Predictor) *Sim {
 		s.results[i].Name = p.Name()
 	}
 	return s
+}
+
+// Parallelize switches the batch path to one worker goroutine per predictor
+// and returns s. The predictors are mutually independent, so each worker
+// replays exactly the Access sequence its predictor would see on the serial
+// path — results stay bit-identical — while the batch pipelines: the
+// executor compacts and emits batch N+1 while the workers are still chewing
+// batch N. This is the capability the per-instruction Observer interface
+// cannot offer (a virtual call per instruction cannot be fanned out), and it
+// is opt-in because the sweep harness already saturates cores with one
+// executor per shard.
+//
+// Call Close when done to stop the workers. Do not mix Observe and
+// ObserveBatch on a parallelized simulator.
+func (s *Sim) Parallelize() *Sim {
+	if s.par {
+		return s
+	}
+	s.par = true
+	s.jobs = make([]chan []condRec, len(s.preds))
+	for i := range s.preds {
+		ch := make(chan []condRec, 1)
+		s.jobs[i] = ch
+		go func(pred Predictor, r *Result, ch chan []condRec) {
+			for recs := range ch {
+				for j := range recs {
+					rec := &recs[j]
+					if pred.Access(rec.pc, rec.taken) != rec.taken {
+						r.Miss[rec.phase][rec.dir]++
+					}
+				}
+				s.wg.Done()
+			}
+		}(s.preds[i], &s.results[i], ch)
+	}
+	return s
+}
+
+// Close drains any in-flight round and stops the parallel workers. The
+// simulator must not observe instructions afterwards; Results remains
+// valid. Close on a serial simulator is a no-op.
+func (s *Sim) Close() {
+	if !s.par {
+		return
+	}
+	s.wg.Wait()
+	for _, ch := range s.jobs {
+		close(ch)
+	}
+	s.jobs = nil
+	s.par = false
+}
+
+// drain waits for the in-flight parallel round, if any.
+func (s *Sim) drain() {
+	if s.par {
+		s.wg.Wait()
+	}
 }
 
 // Observe implements trace.Observer.
@@ -112,9 +196,95 @@ func (s *Sim) Observe(in isa.Inst) {
 	}
 }
 
+// ObserveBatch implements trace.BatchObserver. Results are bit-identical to
+// the per-instruction path: each predictor sees the same Access sequence, in
+// the same order, regardless of batch boundaries or predictor-major
+// iteration (predictors share no state with each other).
+func (s *Sim) ObserveBatch(batch []isa.Inst) {
+	if s.par {
+		s.observeBatchParallel(batch)
+		return
+	}
+	recs, nCond := s.compact(batch, s.recs)
+	s.recs = recs // keep grown capacity for the next batch
+	if len(recs) == 0 {
+		return
+	}
+	for i, pred := range s.preds {
+		r := &s.results[i]
+		r.Branches[0] += nCond[0]
+		r.Branches[1] += nCond[1]
+		for j := range recs {
+			rec := &recs[j]
+			if pred.Access(rec.pc, rec.taken) != rec.taken {
+				r.Miss[rec.phase][rec.dir]++
+			}
+		}
+	}
+}
+
+// compact extracts a batch's conditional branches into buf (reused across
+// batches), counting instructions and conditionals per phase. Both batch
+// paths share it, so serial and parallel modes cannot drift apart.
+func (s *Sim) compact(batch []isa.Inst, buf []condRec) ([]condRec, [2]int64) {
+	recs := buf[:0]
+	var nCond [2]int64
+	for i := range batch {
+		in := &batch[i]
+		p := 0
+		if !in.Serial {
+			p = 1
+		}
+		s.insts[p]++
+		if !in.Kind.IsConditional() {
+			continue
+		}
+		nCond[p]++
+		recs = append(recs, condRec{pc: in.PC, taken: in.Taken, phase: uint8(p), dir: uint8(in.BranchDirection())})
+	}
+	return recs, nCond
+}
+
+// observeBatchParallel compacts on the caller's goroutine, then hands the
+// shared record slice to every predictor worker. Two record buffers
+// alternate: while workers consume round N, the caller compacts round N+1;
+// the only synchronization is one WaitGroup cycle per batch.
+func (s *Sim) observeBatchParallel(batch []isa.Inst) {
+	recs, nCond := s.compact(batch, s.pbuf[s.cur])
+	s.pbuf[s.cur] = recs
+	// Wait for the previous round so the workers are idle: after this,
+	// touching Branches and reusing the other buffer is race-free.
+	s.wg.Wait()
+	if len(recs) == 0 {
+		return
+	}
+	for i := range s.results {
+		s.results[i].Branches[0] += nCond[0]
+		s.results[i].Branches[1] += nCond[1]
+	}
+	s.wg.Add(len(s.jobs))
+	for _, ch := range s.jobs {
+		ch <- recs
+	}
+	s.cur ^= 1
+}
+
+// Merge accumulates another result's counters into r; the sweep harness uses
+// it to fold per-seed shards into one per-configuration aggregate.
+func (r *Result) Merge(o *Result) {
+	for p := 0; p < 2; p++ {
+		r.Insts[p] += o.Insts[p]
+		r.Branches[p] += o.Branches[p]
+		for d := 0; d < isa.NumDirections; d++ {
+			r.Miss[p][d] += o.Miss[p][d]
+		}
+	}
+}
+
 // Results returns the per-predictor results with instruction counts filled
-// in.
+// in. On a parallelized simulator it first drains the in-flight round.
 func (s *Sim) Results() []Result {
+	s.drain()
 	out := make([]Result, len(s.results))
 	copy(out, s.results)
 	for i := range out {
@@ -123,20 +293,36 @@ func (s *Sim) Results() []Result {
 	return out
 }
 
-// StandardConfigs returns the nine predictor configurations of Figure 5, in
-// the figure's order: gshare-big, tournament-big, tage-big, gshare-small,
+// standardFactories builds the nine Figure 5 configurations, in the
+// figure's order: gshare-big, tournament-big, tage-big, gshare-small,
 // tournament-small, tage-small, L-gshare-small, L-tournament-small,
 // L-tage-small.
+var standardFactories = []func() Predictor{
+	func() Predictor { return NewGshareBig() },
+	func() Predictor { return NewTournamentBig() },
+	func() Predictor { return NewTAGEBig() },
+	func() Predictor { return NewGshareSmall() },
+	func() Predictor { return NewTournamentSmall() },
+	func() Predictor { return NewTAGESmall() },
+	func() Predictor { return NewWithLoop(NewGshareSmall()) },
+	func() Predictor { return NewWithLoop(NewTournamentSmall()) },
+	func() Predictor { return NewWithLoop(NewTAGESmall()) },
+}
+
+// NumStandardConfigs is the number of Figure 5 predictor configurations.
+func NumStandardConfigs() int { return len(standardFactories) }
+
+// StandardConfig returns a fresh (power-on state) instance of the i-th
+// Figure 5 configuration; sweep shards use it to build only the predictor
+// they drive.
+func StandardConfig(i int) Predictor { return standardFactories[i]() }
+
+// StandardConfigs returns fresh instances of the nine Figure 5 predictor
+// configurations, in the figure's order.
 func StandardConfigs() []Predictor {
-	return []Predictor{
-		NewGshareBig(),
-		NewTournamentBig(),
-		NewTAGEBig(),
-		NewGshareSmall(),
-		NewTournamentSmall(),
-		NewTAGESmall(),
-		NewWithLoop(NewGshareSmall()),
-		NewWithLoop(NewTournamentSmall()),
-		NewWithLoop(NewTAGESmall()),
+	out := make([]Predictor, len(standardFactories))
+	for i, f := range standardFactories {
+		out[i] = f()
 	}
+	return out
 }

@@ -23,9 +23,12 @@ type TAGE struct {
 	tables []*tageTable
 
 	// Global history as a circular bit buffer; long enough for the longest
-	// geometric history length.
-	ghist    []uint8
-	ghistPos int // position of the most recent bit
+	// geometric history length. The length is a power of two so position
+	// arithmetic is a mask instead of a modulo — histBit runs a dozen times
+	// per access, and integer division dominated the profile before.
+	ghist     []uint8
+	ghistMask int
+	ghistPos  int // position of the most recent bit
 
 	// pathHist folds low PC bits of recent branches into index hashes.
 	pathHist uint64
@@ -46,35 +49,45 @@ type TAGE struct {
 }
 
 type tageTable struct {
-	histLen  int
-	logSize  uint
-	tagBits  uint
-	tag      []uint16
-	ctr      []int8  // 3-bit signed, taken when >= 0
-	useful   []uint8 // 2-bit
-	foldIdx  *folded
-	foldTag1 *folded
-	foldTag2 *folded
+	histLen int
+	logSize uint
+	tagBits uint
+	tag     []uint16
+	ctr     []int8  // 3-bit signed, taken when >= 0
+	useful  []uint8 // 2-bit
+	// Folded histories are stored by value: the three folds update on every
+	// access, and keeping them on the table struct (instead of behind three
+	// heap pointers) keeps the per-access history maintenance in two cache
+	// lines instead of five.
+	foldIdx  folded
+	foldTag1 folded
+	foldTag2 folded
 }
 
 // folded maintains an incrementally folded (compressed) copy of the global
-// history, as in Seznec's reference implementation.
+// history, as in Seznec's reference implementation. The struct is kept to
+// one-and-a-half words of hot state with precomputed mask and shift so the
+// three updates per table per access stay a handful of ALU ops each.
 type folded struct {
 	comp    uint64
-	compLen uint
-	histLen int
-	outPt   uint
+	mask    uint64 // (1 << compLen) - 1
+	compLen uint8
+	outPt   uint8
 }
 
-func newFolded(histLen int, compLen uint) *folded {
-	return &folded{compLen: compLen, histLen: histLen, outPt: uint(histLen) % compLen}
+func newFolded(histLen int, compLen uint) folded {
+	return folded{
+		mask:    uint64(1)<<compLen - 1,
+		compLen: uint8(compLen),
+		outPt:   uint8(uint(histLen) % compLen),
+	}
 }
 
 func (f *folded) update(newBit, oldBit uint64) {
-	f.comp = (f.comp << 1) | newBit
-	f.comp ^= oldBit << f.outPt
-	f.comp ^= f.comp >> f.compLen
-	f.comp &= (1 << f.compLen) - 1
+	c := (f.comp << 1) | newBit
+	c ^= oldBit << f.outPt
+	c ^= c >> f.compLen
+	f.comp = c & f.mask
 }
 
 func (f *folded) reset() { f.comp = 0 }
@@ -116,7 +129,12 @@ func NewTAGE(name string, baseLog uint, specs []tageSpec) *TAGE {
 			maxHist = s.HistLen
 		}
 	}
-	t.ghist = make([]uint8, maxHist+8)
+	ghistLen := 1
+	for ghistLen < maxHist+1 {
+		ghistLen <<= 1
+	}
+	t.ghist = make([]uint8, ghistLen)
+	t.ghistMask = ghistLen - 1
 	t.scratchIdx = make([]uint64, len(t.tables))
 	t.scratchTag = make([]uint16, len(t.tables))
 	return t
@@ -149,11 +167,9 @@ func NewTAGEBig() *TAGE {
 }
 
 // histBit returns the history bit age steps in the past (0 = most recent).
+// Negative positions wrap correctly through the mask (two's complement).
 func (t *TAGE) histBit(age int) uint64 {
-	i := t.ghistPos - age
-	n := len(t.ghist)
-	i = ((i % n) + n) % n
-	return uint64(t.ghist[i])
+	return uint64(t.ghist[(t.ghistPos-age)&t.ghistMask])
 }
 
 func (tb *tageTable) index(pc isa.Addr, path uint64) uint64 {
@@ -308,7 +324,7 @@ func (t *TAGE) Access(pc isa.Addr, taken bool) bool {
 	}
 
 	// Advance global, folded, and path histories.
-	t.ghistPos = (t.ghistPos + 1) % len(t.ghist)
+	t.ghistPos = (t.ghistPos + 1) & t.ghistMask
 	bit := uint8(0)
 	if taken {
 		bit = 1

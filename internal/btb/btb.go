@@ -79,6 +79,20 @@ func (b *BTB) tag(pc isa.Addr) uint64 { return uint64(pc) >> 2 }
 // Observe implements trace.Observer: every instruction counts toward MPKI;
 // taken branches probe and allocate.
 func (b *BTB) Observe(in isa.Inst) {
+	b.observeOne(&in)
+}
+
+// ObserveBatch implements trace.BatchObserver; the loop body is shared with
+// the per-instruction path, but dispatch, the instruction copy, and the
+// phase decode happen once per batch element instead of once per virtual
+// call.
+func (b *BTB) ObserveBatch(batch []isa.Inst) {
+	for i := range batch {
+		b.observeOne(&batch[i])
+	}
+}
+
+func (b *BTB) observeOne(in *isa.Inst) {
 	p := 0
 	if !in.Serial {
 		p = 1

@@ -93,6 +93,19 @@ func (c *Cache) Ways() int { return c.ways }
 
 // Observe implements trace.Observer.
 func (c *Cache) Observe(in isa.Inst) {
+	c.observeOne(&in)
+}
+
+// ObserveBatch implements trace.BatchObserver, sharing the fetch model with
+// the per-instruction path while avoiding per-instruction interface
+// dispatch and struct copies.
+func (c *Cache) ObserveBatch(batch []isa.Inst) {
+	for i := range batch {
+		c.observeOne(&batch[i])
+	}
+}
+
+func (c *Cache) observeOne(in *isa.Inst) {
 	p := 0
 	if !in.Serial {
 		p = 1

@@ -43,6 +43,28 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// mix64 is the SplitMix64 finalizer: a full-avalanche 64-bit permutation.
+// Every output bit depends on every input bit, which is what makes it safe
+// to derive substreams from structured inputs such as dense site IDs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewStream returns the stream-th substream of a master seed. Both inputs
+// pass through the SplitMix64 finalizer before they are combined, so nearby
+// stream numbers (0, 1, 2, ...) and nearby seeds produce statistically
+// independent generators; a plain XOR of seed and a scaled stream number
+// does not have this property and lets adjacent streams correlate.
+func NewStream(seed, stream uint64) *RNG {
+	h := mix64(seed+0x9e3779b97f4a7c15) ^ mix64(stream*0x9e3779b97f4a7c15+0xbf58476d1ce4e5b9)
+	return New(h)
+}
+
 // NewFromString returns a generator seeded from an arbitrary string, such as
 // a workload name. The same string always produces the same stream.
 func NewFromString(s string) *RNG {

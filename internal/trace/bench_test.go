@@ -1,0 +1,74 @@
+package trace_test
+
+import (
+	"testing"
+
+	"rebalance/internal/bpred"
+	"rebalance/internal/trace"
+	"rebalance/internal/workload"
+)
+
+// BenchmarkExecutorEmit measures end-to-end emission throughput — executor
+// plus the paper's full nine-predictor simulation — for both engines over
+// the same workload, so one run yields the compiled-over-reference speedup
+// in instructions/sec (b.N counts dynamic instructions; ns/op is
+// ns/instruction).
+func BenchmarkExecutorEmit(b *testing.B) {
+	prog := workload.MustBuild("comd-lite")
+	c, err := trace.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compiled", func(b *testing.B) {
+		sim := bpred.NewSim(bpred.StandardConfigs()...).Parallelize()
+		defer sim.Close()
+		e := trace.NewCompiledExecutor(c, 1)
+		e.Attach(sim)
+		b.ResetTimer()
+		if err := e.Run(int64(b.N)); err != nil {
+			b.Fatal(err)
+		}
+		sim.Results() // drain the last round inside the timed region
+	})
+	b.Run("compiled-serial", func(b *testing.B) {
+		e := trace.NewCompiledExecutor(c, 1)
+		e.Attach(bpred.NewSim(bpred.StandardConfigs()...))
+		b.ResetTimer()
+		if err := e.Run(int64(b.N)); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		e := trace.NewExecutor(prog, 1)
+		e.Attach(bpred.NewSim(bpred.StandardConfigs()...))
+		b.ResetTimer()
+		if err := e.RunReference(int64(b.N)); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkExecutorEmitBare isolates the emission pipeline itself: no
+// observers beyond a trivial batch consumer, so the numbers bound how fast
+// each engine can produce the stream.
+func BenchmarkExecutorEmitBare(b *testing.B) {
+	prog := workload.MustBuild("comd-lite")
+	c, err := trace.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compiled", func(b *testing.B) {
+		e := trace.NewCompiledExecutor(c, 1)
+		b.ResetTimer()
+		if err := e.Run(int64(b.N)); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		e := trace.NewExecutor(prog, 1)
+		b.ResetTimer()
+		if err := e.RunReference(int64(b.N)); err != nil {
+			b.Fatal(err)
+		}
+	})
+}

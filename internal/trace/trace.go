@@ -1,12 +1,25 @@
 // Package trace executes a program model and emits the dynamic instruction
 // stream to registered observers — the equivalent of Pin driving pintools in
 // the paper's methodology. Observers are the analysis routines (package
-// analysis) and hardware-structure simulators (packages bpred, btb, icache,
-// frontend); several observers can share one pass over the stream, just as
-// several pintool analysis callbacks share one instrumented run.
+// analysis) and hardware-structure simulators (packages bpred, btb, icache);
+// several observers can share one pass over the stream, just as several
+// pintool analysis callbacks share one instrumented run.
 //
-// The executor is deterministic: for a fixed program and seed, every run
-// emits a bit-identical stream regardless of how many observers watch it.
+// The executor has two execution engines over the same program model:
+//
+//   - Run compiles the structured program once into a flat threaded-code op
+//     array (see compile.go) and drives it with a tight loop, delivering
+//     instructions to observers in batches of up to BatchSize. This is the
+//     production path.
+//   - RunReference walks the program tree recursively and delivers every
+//     instruction through a virtual per-instruction Observe call. It is the
+//     retained reference implementation: slower, but structurally identical
+//     to the model definition, and used by tests and benchmarks to prove the
+//     compiled path emits a bit-identical stream.
+//
+// Both engines are deterministic: for a fixed program and seed, every run
+// emits a bit-identical stream regardless of engine, batch boundaries, or
+// how many observers watch it.
 package trace
 
 import (
@@ -17,10 +30,19 @@ import (
 	"rebalance/internal/rng"
 )
 
-// Observer consumes the dynamic instruction stream.
+// Observer consumes the dynamic instruction stream one instruction at a
+// time.
 type Observer interface {
 	// Observe is called once per dynamic instruction, in program order.
 	Observe(in isa.Inst)
+}
+
+// BatchObserver consumes the dynamic instruction stream in program-order
+// batches. Batches hold at most BatchSize instructions, never mix serial and
+// parallel sections (the executor flushes at region boundaries), and the
+// slice is reused after the call returns — observers must not retain it.
+type BatchObserver interface {
+	ObserveBatch(batch []isa.Inst)
 }
 
 // ObserverFunc adapts a function to the Observer interface.
@@ -28,6 +50,28 @@ type ObserverFunc func(in isa.Inst)
 
 // Observe implements Observer.
 func (f ObserverFunc) Observe(in isa.Inst) { f(in) }
+
+// ObserveBatch implements BatchObserver by calling f per instruction.
+func (f ObserverFunc) ObserveBatch(batch []isa.Inst) {
+	for i := range batch {
+		f(batch[i])
+	}
+}
+
+// batchAdapter lifts a per-instruction Observer into the batch interface so
+// the compiled engine can drive observers that predate batching.
+type batchAdapter struct{ o Observer }
+
+func (a batchAdapter) ObserveBatch(batch []isa.Inst) {
+	for i := range batch {
+		a.o.Observe(batch[i])
+	}
+}
+
+// BatchSize is the capacity of the executor's emission buffer. The buffer is
+// flushed to batch observers when full, at region boundaries, and when a
+// run's instruction budget is exhausted.
+const BatchSize = 4096
 
 // maxCallDepth bounds the synthetic call stack; the structured program
 // model cannot recurse, so hitting this indicates a model bug.
@@ -38,6 +82,7 @@ type Executor struct {
 	prog      *program.Program
 	seed      uint64
 	observers []Observer
+	batchObs  []BatchObserver
 
 	// Per-branch-site private RNG streams, created lazily. Keyed by the
 	// dense site ID so the stream a site sees is independent of every
@@ -56,9 +101,22 @@ type Executor struct {
 	budget int64
 	// serial tags instructions with the current phase.
 	serial bool
-	// stack holds return addresses for calls in flight.
+	// stack holds return addresses for calls in flight (reference engine).
 	stack []isa.Addr
 	err   error
+
+	// Compiled-engine state.
+	compiled  *Compiled
+	batch     []isa.Inst // emission buffer, cap BatchSize
+	serialIdx int        // selects the pre-rendered block variant
+	loopLeft  []int64    // per compiled-loop-slot remaining iterations
+	frames    []frame    // call frames in flight
+}
+
+// frame is one call in flight in the compiled engine.
+type frame struct {
+	resume int32 // op index to continue at after the return
+	ret    isa.Addr
 }
 
 // NewExecutor builds an executor for a laid-out program. The seed isolates
@@ -73,20 +131,104 @@ func NewExecutor(p *program.Program, seed uint64) *Executor {
 	}
 }
 
-// Attach registers observers for subsequent runs.
+// NewCompiledExecutor builds an executor that reuses an already-compiled
+// program. A Compiled is immutable after Compile returns, so any number of
+// executors (across goroutines) can share one — the sweep harness compiles
+// each workload once and fans out.
+func NewCompiledExecutor(c *Compiled, seed uint64) *Executor {
+	e := NewExecutor(c.prog, seed)
+	e.compiled = c
+	return e
+}
+
+// Attach registers observers for subsequent runs. Observers that also
+// implement BatchObserver receive batches natively on the compiled path;
+// the rest are adapted with a per-instruction loop.
 func (e *Executor) Attach(obs ...Observer) {
-	e.observers = append(e.observers, obs...)
+	for _, o := range obs {
+		e.observers = append(e.observers, o)
+		if bo, ok := o.(BatchObserver); ok {
+			e.batchObs = append(e.batchObs, bo)
+		} else {
+			e.batchObs = append(e.batchObs, batchAdapter{o})
+		}
+	}
 }
 
 // Emitted returns the number of dynamic instructions emitted so far.
 func (e *Executor) Emitted() int64 { return e.emitted }
 
 // Run emits approximately target dynamic instructions by cycling through
-// the program's region schedule. Emission stops at the first region
-// boundary after the target is reached, so the stream always ends in a
-// consistent program state; the overshoot is at most one region's worth of
-// instructions.
+// the program's region schedule, using the compiled engine. Emission stops
+// at the first region boundary after the target is reached, so the stream
+// always ends in a consistent program state; the overshoot is at most one
+// region's worth of instructions.
+//
+// The program is compiled on first use (or shared via NewCompiledExecutor);
+// compilation validates the program and fails on a malformed model.
 func (e *Executor) Run(target int64) error {
+	if target <= 0 {
+		return fmt.Errorf("trace: non-positive instruction target %d", target)
+	}
+	if e.prog.NumSites == 0 {
+		return fmt.Errorf("trace: program %q not laid out", e.prog.Name)
+	}
+	if e.compiled == nil {
+		c, err := Compile(e.prog)
+		if err != nil {
+			return err
+		}
+		e.compiled = c
+	}
+	if len(e.loopLeft) < e.compiled.numLoops {
+		e.loopLeft = make([]int64, e.compiled.numLoops)
+	}
+	if e.batch == nil {
+		e.batch = make([]isa.Inst, 0, BatchSize)
+	}
+	e.budget = e.emitted + target
+	for e.emitted < e.budget && e.err == nil {
+		for ri, r := range e.prog.Regions {
+			if e.emitted >= e.budget || e.err != nil {
+				break
+			}
+			e.serial = r.Serial
+			e.serialIdx = 0
+			if r.Serial {
+				e.serialIdx = 1
+			}
+			for w := 0; w < r.Weight; w++ {
+				e.runOps(e.compiled.regionStart[ri])
+				if e.emitted >= e.budget || e.err != nil {
+					break
+				}
+			}
+			// Region boundary: flush so batches never mix phases.
+			e.flush()
+		}
+	}
+	e.flush()
+	return e.err
+}
+
+// flush delivers the buffered batch to every batch observer and resets the
+// buffer.
+func (e *Executor) flush() {
+	if len(e.batch) == 0 {
+		return
+	}
+	for _, o := range e.batchObs {
+		o.ObserveBatch(e.batch)
+	}
+	e.batch = e.batch[:0]
+}
+
+// RunReference emits approximately target dynamic instructions with the
+// retained tree-walk engine and per-instruction observer dispatch. Stream
+// and observer results are bit-identical to Run for the same program and
+// seed; the engine exists as the executable specification the compiled path
+// is tested against, and as the baseline its speedup is measured against.
+func (e *Executor) RunReference(target int64) error {
 	if target <= 0 {
 		return fmt.Errorf("trace: non-positive instruction target %d", target)
 	}
@@ -112,17 +254,19 @@ func (e *Executor) Run(target int64) error {
 }
 
 // rngFor returns the site's private RNG, creating it on first use. The
-// stream depends only on the run seed and the site ID.
+// stream depends only on the run seed and the site ID; derivation goes
+// through rng.NewStream's SplitMix64 mixing so nearby site IDs cannot
+// produce correlated streams.
 func (e *Executor) rngFor(id int) *rng.RNG {
 	r := e.siteRNG[id]
 	if r == nil {
-		r = rng.New(e.seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+		r = rng.NewStream(e.seed, uint64(id))
 		e.siteRNG[id] = r
 	}
 	return r
 }
 
-// emit delivers one instruction to every observer.
+// emit delivers one instruction to every observer (reference engine).
 func (e *Executor) emit(in isa.Inst) {
 	in.Serial = e.serial
 	for _, o := range e.observers {
@@ -245,7 +389,7 @@ func (e *Executor) fail(err error) {
 }
 
 // Run is a convenience that executes prog for about target instructions,
-// delivering the stream to the given observers.
+// delivering the stream to the given observers via the compiled engine.
 func Run(p *program.Program, seed uint64, target int64, obs ...Observer) error {
 	e := NewExecutor(p, seed)
 	e.Attach(obs...)

@@ -1,0 +1,59 @@
+package workload_test
+
+import (
+	"testing"
+
+	"rebalance/internal/analysis"
+	"rebalance/internal/isa"
+	"rebalance/internal/trace"
+	"rebalance/internal/workload"
+)
+
+// TestBuildAll checks every workload lays out, validates, and has a
+// plausible static shape.
+func TestBuildAll(t *testing.T) {
+	for _, name := range workload.Names() {
+		p, err := workload.Build(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.NumSites < 20 {
+			t.Errorf("%s: only %d branch sites", name, p.NumSites)
+		}
+		if p.TextSize < 2048 {
+			t.Errorf("%s: text size %dB implausibly small", name, p.TextSize)
+		}
+		if len(p.Regions) < 2 {
+			t.Errorf("%s: want serial and parallel regions, got %d", name, len(p.Regions))
+		}
+	}
+}
+
+// TestStreamCoverage runs each workload and checks the emitted stream
+// exercises the populations the paper measures: both phases, and for the
+// pair of workloads together every instruction kind.
+func TestStreamCoverage(t *testing.T) {
+	var kinds [isa.NumKinds]int64
+	for _, name := range workload.Names() {
+		mix := analysis.NewBranchMix()
+		if err := trace.Run(workload.MustBuild(name), 1, 300_000, mix); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mix.Insts(analysis.Serial) == 0 || mix.Insts(analysis.Parallel) == 0 {
+			t.Errorf("%s: missing a phase (serial=%d parallel=%d)",
+				name, mix.Insts(analysis.Serial), mix.Insts(analysis.Parallel))
+		}
+		bf := mix.BranchFraction(analysis.Total)
+		if bf < 0.02 || bf > 0.45 {
+			t.Errorf("%s: branch fraction %.3f outside plausible range", name, bf)
+		}
+		for k := 0; k < isa.NumKinds; k++ {
+			kinds[k] += mix.Count(analysis.Total, isa.Kind(k))
+		}
+	}
+	for k := 0; k < isa.NumKinds; k++ {
+		if kinds[k] == 0 {
+			t.Errorf("no workload emitted kind %v", isa.Kind(k))
+		}
+	}
+}
