@@ -1,9 +1,9 @@
-// Command rebalance-bench is the parallel sweep and benchmark harness: it
-// runs a {workload x seed x predictor-config} shard grid across a worker
-// pool (one compiled-program executor per goroutine, workloads compiled
-// once and shared), merges per-shard results, measures the compiled engine
-// against the retained tree-walk reference, and prints one machine-readable
-// JSON report suitable for BENCH_*.json trajectory tracking.
+// Command rebalance-bench is the parallel sweep and benchmark harness,
+// built as a thin client of the declarative run layer (internal/sim): it
+// submits a Spec for the {workload x seed x predictor-config} grid to a
+// sim.Session, reshapes the sim/v1 report into the rebalance-bench/v1
+// record consumed for BENCH_*.json trajectory tracking, and measures the
+// compiled engine against the retained tree-walk reference.
 //
 // Usage:
 //
@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,25 +21,17 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"rebalance/internal/bpred"
+	"rebalance/internal/sim"
 	"rebalance/internal/stats"
 	"rebalance/internal/trace"
 	"rebalance/internal/workload"
 )
 
-// shardSpec names one unit of work: one predictor configuration driven over
-// one workload stream with one seed.
-type shardSpec struct {
-	workload string
-	seed     uint64
-	predIdx  int
-}
-
-// shardResult is the JSON record for one completed shard.
-type shardResult struct {
+// benchShard is the JSON record for one completed shard.
+type benchShard struct {
 	Workload     string  `json:"workload"`
 	Seed         uint64  `json:"seed"`
 	Predictor    string  `json:"predictor"`
@@ -52,8 +45,10 @@ type shardResult struct {
 	MissRate     float64 `json:"miss_rate"`
 }
 
-// aggregate folds one predictor's shards (all seeds) on one workload.
-type aggregate struct {
+// benchAggregate folds one predictor's shards (all seeds) on one workload:
+// the mean-of-MPKIs (matching how multi-run figures are averaged) and the
+// count-merged MPKI (exact pooled counters via the sim result merge).
+type benchAggregate struct {
 	Workload     string  `json:"workload"`
 	Predictor    string  `json:"predictor"`
 	Seeds        int     `json:"seeds"`
@@ -79,19 +74,19 @@ type calibration struct {
 }
 
 type report struct {
-	Schema        string        `json:"schema"`
-	GoVersion     string        `json:"go_version"`
-	GOMAXPROCS    int           `json:"gomaxprocs"`
-	Workers       int           `json:"workers"`
-	InstsPerShard int64         `json:"insts_per_shard"`
-	Workloads     []string      `json:"workloads"`
-	Seeds         int           `json:"seeds"`
-	Shards        []shardResult `json:"shards"`
-	Aggregates    []aggregate   `json:"aggregates"`
-	TotalInsts    int64         `json:"total_insts"`
-	WallNS        int64         `json:"wall_ns"`
-	SweepMInstsPS float64       `json:"sweep_minsts_per_sec"`
-	Calibration   *calibration  `json:"calibration,omitempty"`
+	Schema        string           `json:"schema"`
+	GoVersion     string           `json:"go_version"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	Workers       int              `json:"workers"`
+	InstsPerShard int64            `json:"insts_per_shard"`
+	Workloads     []string         `json:"workloads"`
+	Seeds         int              `json:"seeds"`
+	Shards        []benchShard     `json:"shards"`
+	Aggregates    []benchAggregate `json:"aggregates"`
+	TotalInsts    int64            `json:"total_insts"`
+	WallNS        int64            `json:"wall_ns"`
+	SweepMInstsPS float64          `json:"sweep_minsts_per_sec"`
+	Calibration   *calibration     `json:"calibration,omitempty"`
 }
 
 func main() {
@@ -110,116 +105,65 @@ func main() {
 	}
 }
 
+// parseWorkloads splits and trims the -workloads CSV, rejecting empty and
+// duplicate names so a typo cannot silently run duplicate shard grids.
+func parseWorkloads(csv string) ([]string, error) {
+	parts := strings.Split(csv, ",")
+	names := make([]string, 0, len(parts))
+	seen := map[string]bool{}
+	for _, p := range parts {
+		name := strings.TrimSpace(p)
+		if name == "" {
+			return nil, fmt.Errorf("empty workload name in -workloads %q", csv)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate workload %q in -workloads %q", name, csv)
+		}
+		seen[name] = true
+		names = append(names, name)
+	}
+	return names, nil
+}
+
 func run(workloadsCSV string, seeds int, insts int64, workers int, calibInsts int64, out string) error {
 	if seeds < 1 || insts < 1 || workers < 1 {
 		return fmt.Errorf("seeds, insts, and workers must be positive")
 	}
-	names := strings.Split(workloadsCSV, ",")
-	for i := range names {
-		names[i] = strings.TrimSpace(names[i])
+	names, err := parseWorkloads(workloadsCSV)
+	if err != nil {
+		return err
 	}
 
-	// Compile every workload once; executors share the read-only programs.
-	compiled := make(map[string]*trace.Compiled, len(names))
-	for _, name := range names {
-		prog, err := workload.Build(name)
-		if err != nil {
-			return err
-		}
-		c, err := trace.Compile(prog)
-		if err != nil {
-			return err
-		}
-		compiled[name] = c
-	}
-
-	nPreds := bpred.NumStandardConfigs()
-	var specs []shardSpec
-	for _, name := range names {
-		for s := 0; s < seeds; s++ {
-			for p := 0; p < nPreds; p++ {
-				specs = append(specs, shardSpec{workload: name, seed: uint64(s + 1), predIdx: p})
-			}
-		}
-	}
-
-	// Worker pool: one executor per in-flight shard, results merged after
-	// the barrier. Per-shard predictor instances are fresh (power-on state),
-	// so shards are order-independent and the sweep is deterministic up to
-	// timing fields.
-	jobs := make(chan shardSpec)
-	results := make([]shardRecord, 0, len(specs))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for spec := range jobs {
-				res, err := runShard(compiled[spec.workload], spec, insts)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "rebalance-bench: shard %+v: %v\n", spec, err)
-					continue
-				}
-				mu.Lock()
-				results = append(results, res)
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, spec := range specs {
-		jobs <- spec
-	}
-	close(jobs)
-	wg.Wait()
-	wall := time.Since(start)
-
-	if len(results) != len(specs) {
-		return fmt.Errorf("%d of %d shards failed", len(specs)-len(results), len(specs))
-	}
-	sort.Slice(results, func(i, j int) bool {
-		a, b := results[i].shardResult, results[j].shardResult
-		if a.Workload != b.Workload {
-			return a.Workload < b.Workload
-		}
-		if a.Predictor != b.Predictor {
-			return a.Predictor < b.Predictor
-		}
-		return a.Seed < b.Seed
+	// The whole sweep is one declarative Spec: the grid of every
+	// registered predictor configuration over every workload and seed.
+	sess := sim.NewSession(workers)
+	simRep, err := sess.Run(context.Background(), &sim.Spec{
+		Workloads: names,
+		SeedCount: seeds,
+		Insts:     insts,
+		Observers: []sim.ObserverSpec{{Kind: "bpred"}},
 	})
-	shards := make([]shardResult, len(results))
-	for i, r := range results {
-		shards[i] = r.shardResult
+	if err != nil {
+		return err
 	}
 
-	rep := report{
-		Schema:        "rebalance-bench/v1",
-		GoVersion:     runtime.Version(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Workers:       workers,
-		InstsPerShard: insts,
-		Workloads:     names,
-		Seeds:         seeds,
-		Shards:        shards,
-		Aggregates:    aggregateShards(results),
-		WallNS:        wall.Nanoseconds(),
-	}
-	for _, r := range shards {
-		rep.TotalInsts += r.Insts
-	}
-	if wall > 0 {
-		rep.SweepMInstsPS = float64(rep.TotalInsts) / wall.Seconds() / 1e6
+	rep, err := buildReport(simRep)
+	if err != nil {
+		return err
 	}
 	if calibInsts > 0 {
-		cal, err := calibrate(compiled[names[0]], calibInsts)
+		c, err := sess.Compiled(names[0])
+		if err != nil {
+			return err
+		}
+		cal, err := calibrate(c, calibInsts)
 		if err != nil {
 			return err
 		}
 		rep.Calibration = cal
 	}
 
-	enc, err := json.MarshalIndent(&rep, "", "  ")
+	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -231,59 +175,62 @@ func run(workloadsCSV string, seeds int, insts int64, workers int, calibInsts in
 	return os.WriteFile(out, enc, 0o644)
 }
 
-// shardRecord pairs a shard's JSON record with its exact result counters,
-// which the aggregation merges instead of re-deriving counts from rounded
-// ratios.
-type shardRecord struct {
-	shardResult
-	counters bpred.Result
-}
+// buildReport reshapes a sim/v1 report of bpred shards into the
+// rebalance-bench/v1 record.
+func buildReport(simRep *sim.Report) (*report, error) {
+	shards := make([]benchShard, 0, len(simRep.Shards))
+	for i := range simRep.Shards {
+		sh := &simRep.Shards[i]
+		r, ok := sh.Result.(*bpred.Result)
+		if !ok {
+			return nil, fmt.Errorf("shard %s/%s: unexpected result type %T", sh.Workload, sh.Observer, sh.Result)
+		}
+		b := benchShard{
+			Workload:     sh.Workload,
+			Seed:         sh.Seed,
+			Predictor:    r.Name,
+			CostBits:     r.CostBits,
+			Insts:        sh.Insts,
+			ElapsedNS:    sh.ElapsedNS,
+			MPKI:         r.MPKI(),
+			MPKISerial:   r.MPKISerial(),
+			MPKIParallel: r.MPKIParallel(),
+			MissRate:     r.MissRate(),
+		}
+		if sh.ElapsedNS > 0 {
+			b.MInstsPerSec = float64(b.Insts) / (float64(sh.ElapsedNS) / 1e9) / 1e6
+		}
+		shards = append(shards, b)
+	}
+	sort.Slice(shards, func(i, j int) bool {
+		a, b := &shards[i], &shards[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Predictor != b.Predictor {
+			return a.Predictor < b.Predictor
+		}
+		return a.Seed < b.Seed
+	})
 
-// runShard executes one predictor configuration over one seeded stream.
-func runShard(c *trace.Compiled, spec shardSpec, insts int64) (shardRecord, error) {
-	pred := bpred.StandardConfig(spec.predIdx) // fresh instance, power-on state
-	sim := bpred.NewSim(pred)
-	e := trace.NewCompiledExecutor(c, spec.seed)
-	e.Attach(sim)
-	start := time.Now()
-	if err := e.Run(insts); err != nil {
-		return shardRecord{}, err
+	// Exact pooled counters come from the sim layer's merge.
+	mergedMPKI := map[[2]string]float64{}
+	for i := range simRep.Merged {
+		m := &simRep.Merged[i]
+		if r, ok := m.Result.(*bpred.Result); ok {
+			mergedMPKI[[2]string{m.Workload, r.Name}] = r.MPKI()
+		}
 	}
-	elapsed := time.Since(start)
-	r := sim.Results()[0]
-	res := shardResult{
-		Workload:     spec.workload,
-		Seed:         spec.seed,
-		Predictor:    pred.Name(),
-		CostBits:     pred.CostBits(),
-		Insts:        e.Emitted(),
-		ElapsedNS:    elapsed.Nanoseconds(),
-		MPKI:         r.MPKI(),
-		MPKISerial:   r.MPKISerial(),
-		MPKIParallel: r.MPKIParallel(),
-		MissRate:     r.MissRate(),
-	}
-	if elapsed > 0 {
-		res.MInstsPerSec = float64(res.Insts) / elapsed.Seconds() / 1e6
-	}
-	return shardRecord{shardResult: res, counters: r}, nil
-}
 
-// aggregateShards folds seeds: the mean-of-MPKIs (stats.Average, matching
-// how multi-run figures are averaged) and the count-merged MPKI (exact
-// pooled counters via bpred.Result.Merge).
-func aggregateShards(records []shardRecord) []aggregate {
-	type key struct{ w, p string }
 	type accum struct {
-		mpkis  []float64
-		rates  []float64
-		merged bpred.Result
+		mpkis []float64
+		rates []float64
 	}
-	order := []key{}
-	acc := map[key]*accum{}
-	for i := range records {
-		s := &records[i]
-		k := key{s.Workload, s.Predictor}
+	order := [][2]string{}
+	acc := map[[2]string]*accum{}
+	for i := range shards {
+		s := &shards[i]
+		k := [2]string{s.Workload, s.Predictor}
 		a := acc[k]
 		if a == nil {
 			a = &accum{}
@@ -292,21 +239,37 @@ func aggregateShards(records []shardRecord) []aggregate {
 		}
 		a.mpkis = append(a.mpkis, s.MPKI)
 		a.rates = append(a.rates, s.MInstsPerSec)
-		a.merged.Merge(&s.counters)
 	}
-	out := make([]aggregate, 0, len(order))
+	aggs := make([]benchAggregate, 0, len(order))
 	for _, k := range order {
 		a := acc[k]
-		out = append(out, aggregate{
-			Workload:     k.w,
-			Predictor:    k.p,
+		aggs = append(aggs, benchAggregate{
+			Workload:     k[0],
+			Predictor:    k[1],
 			Seeds:        len(a.mpkis),
 			MeanMPKI:     stats.Average(a.mpkis),
-			MergedMPKI:   a.merged.MPKI(),
+			MergedMPKI:   mergedMPKI[k],
 			MeanMInstsPS: stats.Average(a.rates),
 		})
 	}
-	return out
+
+	rep := &report{
+		Schema:        "rebalance-bench/v1",
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       simRep.Workers,
+		InstsPerShard: simRep.Spec.Insts,
+		Workloads:     simRep.Spec.Workloads,
+		Seeds:         len(simRep.Spec.Seeds),
+		Shards:        shards,
+		Aggregates:    aggs,
+		TotalInsts:    simRep.TotalInsts,
+		WallNS:        simRep.WallNS,
+	}
+	if simRep.WallNS > 0 {
+		rep.SweepMInstsPS = float64(rep.TotalInsts) / (float64(simRep.WallNS) / 1e9) / 1e6
+	}
+	return rep, nil
 }
 
 // calibrate measures the three engine configurations — reference tree-walk,

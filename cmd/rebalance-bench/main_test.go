@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rebalance/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestParseWorkloads(t *testing.T) {
+	good, err := parseWorkloads(" comd-lite , xalan-lite ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good) != 2 || good[0] != "comd-lite" || good[1] != "xalan-lite" {
+		t.Errorf("parsed %v", good)
+	}
+	for _, tc := range []struct{ csv, want string }{
+		{"", "empty workload"},
+		{"comd-lite,", "empty workload"},
+		{"comd-lite,,xalan-lite", "empty workload"},
+		{"comd-lite,comd-lite", "duplicate workload"},
+		{"comd-lite, comd-lite", "duplicate workload"},
+	} {
+		if _, err := parseWorkloads(tc.csv); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseWorkloads(%q): want error containing %q, got %v", tc.csv, tc.want, err)
+		}
+	}
+}
+
+// TestReportGolden pins the rebalance-bench/v1 JSON schema built on the
+// sim layer, so drift breaks CI instead of silently corrupting
+// BENCH_*.json trajectories. Regenerate with -update after a deliberate
+// change.
+func TestReportGolden(t *testing.T) {
+	sess := sim.NewSession(2)
+	simRep, err := sess.Run(context.Background(), &sim.Spec{
+		Workloads: []string{"comd-lite", "xalan-lite"},
+		SeedCount: 2,
+		Insts:     30_000,
+		Observers: []sim.ObserverSpec{{Kind: "bpred"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := buildReport(simRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 workloads x 2 seeds x 9 standard configs.
+	if want := 2 * 2 * 9; len(rep.Shards) != want {
+		t.Fatalf("got %d shards, want %d", len(rep.Shards), want)
+	}
+	if want := 2 * 9; len(rep.Aggregates) != want {
+		t.Fatalf("got %d aggregates, want %d", len(rep.Aggregates), want)
+	}
+
+	// Zero environment- and timing-dependent fields; the rest is
+	// deterministic.
+	rep.GoVersion = ""
+	rep.GOMAXPROCS = 0
+	rep.Workers = 0
+	rep.WallNS = 0
+	rep.SweepMInstsPS = 0
+	for i := range rep.Shards {
+		rep.Shards[i].ElapsedNS = 0
+		rep.Shards[i].MInstsPerSec = 0
+	}
+	for i := range rep.Aggregates {
+		rep.Aggregates[i].MeanMInstsPS = 0
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "bench_v1.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/rebalance-bench -run TestReportGolden -update` to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("rebalance-bench/v1 report drifted from golden file %s;\nif deliberate, regenerate with -update.\ngot:\n%s", golden, got)
+	}
+}
+
+// TestAggregateConsistency checks the merged MPKI comes from exact pooled
+// counters: with a single seed, mean and merged MPKI must coincide.
+func TestAggregateConsistency(t *testing.T) {
+	sess := sim.NewSession(2)
+	simRep, err := sess.Run(context.Background(), &sim.Spec{
+		Workloads: []string{"comd-lite"},
+		SeedCount: 1,
+		Insts:     20_000,
+		Observers: []sim.ObserverSpec{{Kind: "bpred", Options: json.RawMessage(`{"configs":["gshare-small","tage-big"]}`)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := buildReport(simRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range rep.Aggregates {
+		if a.Seeds != 1 {
+			t.Errorf("%s/%s: %d seeds, want 1", a.Workload, a.Predictor, a.Seeds)
+		}
+		if a.MeanMPKI != a.MergedMPKI {
+			t.Errorf("%s/%s: single-seed mean %v != merged %v", a.Workload, a.Predictor, a.MeanMPKI, a.MergedMPKI)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command simd serves the declarative run API over HTTP: clients POST a
+// sim Spec and receive a sim/v1 report. All requests share one
+// sim.Session, so workload programs are compiled once per process and
+// concurrent runs execute against the same warm cache — the serving shape
+// the ROADMAP's production-scale target builds on.
+//
+// Endpoints:
+//
+//	POST /v1/runs        execute a Spec (JSON body), respond with the report
+//	GET  /v1/workloads   enumerate the workload registry
+//	GET  /v1/predictors  enumerate the predictor-config registry with costs
+//	GET  /v1/observers   enumerate the observer-kind registry
+//	GET  /healthz        liveness probe
+//
+// Usage:
+//
+//	simd [-addr :8080] [-workers N] [-max-insts 100000000] [-max-shards 4096]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+
+	"rebalance/internal/bpred"
+	"rebalance/internal/sim"
+	"rebalance/internal/workload"
+)
+
+// maxSpecBytes bounds request bodies; a Spec is small, so anything larger
+// is a client error.
+const maxSpecBytes = 1 << 20
+
+func main() {
+	var (
+		addrFlag      = flag.String("addr", ":8080", "listen address")
+		workersFlag   = flag.Int("workers", runtime.GOMAXPROCS(0), "shard worker goroutines per run")
+		maxInstsFlag  = flag.Int64("max-insts", 100_000_000, "reject specs with a larger per-shard instruction budget (0 = unlimited)")
+		maxShardsFlag = flag.Int("max-shards", 4096, "reject specs expanding to more shards than this (0 = unlimited)")
+	)
+	flag.Parse()
+	sess := sim.NewSession(*workersFlag)
+	sess.SetMaxShards(*maxShardsFlag)
+	srv := newServer(sess, *maxInstsFlag)
+	log.Printf("simd: listening on %s (%d workers)", *addrFlag, *workersFlag)
+	log.Fatal(http.ListenAndServe(*addrFlag, srv))
+}
+
+// newServer builds the simd handler around a shared session. Split from
+// main so tests drive it through httptest.
+func newServer(sess *sim.Session, maxInsts int64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		handleRun(w, r, sess, maxInsts)
+	})
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"workloads": workload.Names()})
+	})
+	// The predictor listing is static registry metadata; compute it once
+	// at startup instead of instantiating full prediction tables per
+	// request.
+	type pred struct {
+		Name     string `json:"name"`
+		CostBits int    `json:"cost_bits"`
+	}
+	var preds []pred
+	for _, name := range bpred.ConfigNames() {
+		p, err := bpred.NewByName(name)
+		if err != nil {
+			panic(err) // registry listed the name a moment ago
+		}
+		preds = append(preds, pred{Name: name, CostBits: p.CostBits()})
+	}
+	mux.HandleFunc("GET /v1/predictors", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"predictors": preds})
+	})
+	mux.HandleFunc("GET /v1/observers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"observers": sim.ObserverKinds()})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	return mux
+}
+
+func handleRun(w http.ResponseWriter, r *http.Request, sess *sim.Session, maxInsts int64) {
+	body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var spec sim.Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	if maxInsts > 0 && spec.Insts > maxInsts {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("per-shard budget %d exceeds server limit %d", spec.Insts, maxInsts))
+		return
+	}
+	rep, err := sess.Run(r.Context(), &spec)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, sim.ErrInvalidSpec) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Encode before writing the header so an encoding failure can still
+	// produce a 500 instead of a truncated 200.
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

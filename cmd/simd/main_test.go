@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rebalance/internal/sim"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	sess := sim.NewSession(2)
+	sess.SetMaxShards(256)
+	srv := httptest.NewServer(newServer(sess, 1_000_000))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}
+
+func TestRegistryEndpoints(t *testing.T) {
+	srv := testServer(t)
+
+	var wl struct {
+		Workloads []string `json:"workloads"`
+	}
+	getJSON(t, srv.URL+"/v1/workloads", &wl)
+	for _, want := range []string{"comd-lite", "xalan-lite"} {
+		found := false
+		for _, w := range wl.Workloads {
+			found = found || w == want
+		}
+		if !found {
+			t.Errorf("/v1/workloads missing %q: %v", want, wl.Workloads)
+		}
+	}
+
+	var preds struct {
+		Predictors []struct {
+			Name     string `json:"name"`
+			CostBits int    `json:"cost_bits"`
+		} `json:"predictors"`
+	}
+	getJSON(t, srv.URL+"/v1/predictors", &preds)
+	if len(preds.Predictors) < 9 {
+		t.Errorf("/v1/predictors returned %d configs, want >= 9", len(preds.Predictors))
+	}
+	for _, p := range preds.Predictors {
+		if p.Name == "" || p.CostBits <= 0 {
+			t.Errorf("/v1/predictors entry %+v incomplete", p)
+		}
+	}
+
+	var obs struct {
+		Observers []string `json:"observers"`
+	}
+	getJSON(t, srv.URL+"/v1/observers", &obs)
+	if len(obs.Observers) < 7 {
+		t.Errorf("/v1/observers returned %v, want at least the 7 built-ins", obs.Observers)
+	}
+}
+
+// TestRunRoundTrip is the acceptance check: POST a Spec naming both
+// workloads, get back a valid sim/v1 report.
+func TestRunRoundTrip(t *testing.T) {
+	srv := testServer(t)
+	spec := `{
+		"workloads": ["comd-lite", "xalan-lite"],
+		"seed_count": 1,
+		"insts": 30000,
+		"observers": [
+			{"kind": "bpred", "options": {"configs": ["gshare-small", "tage-small"]}},
+			{"kind": "btb", "options": {"geometries": [{"entries": 512, "ways": 4}]}},
+			{"kind": "icache"},
+			{"kind": "branch-mix"},
+			{"kind": "bias"},
+			{"kind": "footprint"},
+			{"kind": "bbl"}
+		]
+	}`
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/runs: status %d", resp.StatusCode)
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+		Spec   struct {
+			Workloads []string `json:"workloads"`
+			Engine    string   `json:"engine"`
+		} `json:"spec"`
+		Shards []struct {
+			Workload string          `json:"workload"`
+			Observer string          `json:"observer"`
+			Insts    int64           `json:"insts"`
+			Result   json.RawMessage `json:"result"`
+		} `json:"shards"`
+		Merged []struct {
+			Workload string          `json:"workload"`
+			Observer string          `json:"observer"`
+			Seeds    int             `json:"seeds"`
+			Result   json.RawMessage `json:"result"`
+		} `json:"merged"`
+		TotalInsts int64 `json:"total_insts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != sim.SchemaV1 {
+		t.Errorf("schema %q, want %q", rep.Schema, sim.SchemaV1)
+	}
+	if len(rep.Spec.Workloads) != 2 || rep.Spec.Engine != "compiled" {
+		t.Errorf("normalized spec not echoed: %+v", rep.Spec)
+	}
+	// 16 configs per workload: 2 bpred + 1 btb + 9 icache (no options
+	// selects the standard Figure 8 grid) + 4 analysis collectors.
+	if want := 2 * 16; len(rep.Shards) != want {
+		t.Errorf("got %d shards, want %d", len(rep.Shards), want)
+	}
+	if want := 2 * 16; len(rep.Merged) != want {
+		t.Errorf("got %d merged, want %d", len(rep.Merged), want)
+	}
+	for _, sh := range rep.Shards {
+		if sh.Insts < 30000 {
+			t.Errorf("shard %s/%s emitted %d < budget", sh.Workload, sh.Observer, sh.Insts)
+		}
+		if len(sh.Result) == 0 || string(sh.Result) == "null" {
+			t.Errorf("shard %s/%s has empty result", sh.Workload, sh.Observer)
+		}
+	}
+}
+
+func TestRunRejectsBadSpecs(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed json", `{"workloads": [`},
+		{"unknown field", `{"workloadz": ["comd-lite"]}`},
+		{"no workloads", `{"workloads": [], "insts": 1000, "observers": [{"kind": "bbl"}]}`},
+		{"duplicate workload", `{"workloads": ["comd-lite", "comd-lite"], "insts": 1000, "observers": [{"kind": "bbl"}]}`},
+		{"unknown workload", `{"workloads": ["no-such"], "insts": 1000, "observers": [{"kind": "bbl"}]}`},
+		{"unknown observer", `{"workloads": ["comd-lite"], "insts": 1000, "observers": [{"kind": "no-such"}]}`},
+		{"budget over server limit", `{"workloads": ["comd-lite"], "insts": 100000000, "observers": [{"kind": "bbl"}]}`},
+		{"seed_count over shard limit", `{"workloads": ["comd-lite"], "seed_count": 1000000000, "insts": 1000, "observers": [{"kind": "bbl"}]}`},
+		{"grid over shard limit", `{"workloads": ["comd-lite", "xalan-lite"], "seed_count": 200, "insts": 1000, "observers": [{"kind": "bbl"}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %d, want 400", resp.StatusCode)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Errorf("error body not JSON with error field: %v", err)
+			}
+		})
+	}
+}

@@ -1,6 +1,9 @@
 package analysis
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"rebalance/internal/isa"
 	"rebalance/internal/stats"
 )
@@ -95,4 +98,71 @@ func (a *BBL) Report() BBLReport {
 		r.AvgTakenDistB[i] = a.AvgTakenDistance(p)
 	}
 	return r
+}
+
+// BBLResult is the mergeable snapshot behind a BBLReport: exact sums and
+// counts of dynamic basic-block lengths and taken-branch gaps per phase
+// (0 serial, 1 parallel). It implements the sim result contract.
+type BBLResult struct {
+	BlockSum [2]float64
+	BlockN   [2]int64
+	GapSum   [2]float64
+	GapN     [2]int64
+}
+
+// Result snapshots the analyzer's accumulators. As in Report, a partial
+// block or run still open at the end of the stream is not counted.
+func (a *BBL) Result() *BBLResult {
+	r := &BBLResult{}
+	for i := 0; i < 2; i++ {
+		r.BlockSum[i], r.BlockN[i] = a.blockLen[i].Sum(), a.blockLen[i].N()
+		r.GapSum[i], r.GapN[i] = a.takenGap[i].Sum(), a.takenGap[i].N()
+	}
+	return r
+}
+
+// Merge folds another *BBLResult's sums into r.
+func (r *BBLResult) Merge(other any) error {
+	o, ok := other.(*BBLResult)
+	if !ok {
+		return fmt.Errorf("analysis: cannot merge %T into *analysis.BBLResult", other)
+	}
+	for i := 0; i < 2; i++ {
+		r.BlockSum[i] += o.BlockSum[i]
+		r.BlockN[i] += o.BlockN[i]
+		r.GapSum[i] += o.GapSum[i]
+		r.GapN[i] += o.GapN[i]
+	}
+	return nil
+}
+
+func avgOver(sum [2]float64, n [2]int64, idx []int) float64 {
+	var s float64
+	var c int64
+	for _, i := range idx {
+		s += sum[i]
+		c += n[i]
+	}
+	if c == 0 {
+		return 0
+	}
+	return s / float64(c)
+}
+
+// EncodeJSON renders the Figure 4 artifact per aggregation phase.
+func (r *BBLResult) EncodeJSON() ([]byte, error) {
+	var out struct {
+		Blocks        [NumPhases]int64   `json:"blocks"`
+		AvgBlockB     [NumPhases]float64 `json:"avg_block_bytes"`
+		AvgTakenDistB [NumPhases]float64 `json:"avg_taken_dist_bytes"`
+	}
+	for pi, p := range Phases {
+		idx := phaseRange(p)
+		for _, i := range idx {
+			out.Blocks[pi] += r.BlockN[i]
+		}
+		out.AvgBlockB[pi] = avgOver(r.BlockSum, r.BlockN, idx)
+		out.AvgTakenDistB[pi] = avgOver(r.GapSum, r.GapN, idx)
+	}
+	return json.Marshal(&out)
 }

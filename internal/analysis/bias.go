@@ -1,6 +1,9 @@
 package analysis
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"rebalance/internal/isa"
 	"rebalance/internal/stats"
 )
@@ -169,4 +172,108 @@ func (a *Bias) Report() BiasReport {
 		r.TakenPct[i] = 100 * a.TakenFraction(p)
 	}
 	return r
+}
+
+// SiteBias is one conditional branch site's execution and taken counts per
+// phase (0 serial, 1 parallel).
+type SiteBias struct {
+	Exec  [2]int64
+	Taken [2]int64
+}
+
+// BiasResult is the mergeable snapshot behind a BiasReport: per-site
+// direction counters keyed by branch PC. Sites are code addresses, so
+// shards of the same workload merge site-by-site. It implements the sim
+// result contract.
+type BiasResult struct {
+	Sites map[isa.Addr]SiteBias
+	Dirs  [2][isa.NumDirections]int64
+	Conds [2]int64
+}
+
+// Result snapshots the analyzer's counters (deep copy).
+func (a *Bias) Result() *BiasResult {
+	r := &BiasResult{Sites: make(map[isa.Addr]SiteBias, len(a.exec)), Dirs: a.dirs, Conds: a.conds}
+	for pc, s := range a.exec {
+		r.Sites[pc] = SiteBias{Exec: s.exec, Taken: s.taken}
+	}
+	return r
+}
+
+// Merge folds another *BiasResult's counters into r.
+func (r *BiasResult) Merge(other any) error {
+	o, ok := other.(*BiasResult)
+	if !ok {
+		return fmt.Errorf("analysis: cannot merge %T into *analysis.BiasResult", other)
+	}
+	if r.Sites == nil {
+		r.Sites = make(map[isa.Addr]SiteBias, len(o.Sites))
+	}
+	for pc, os := range o.Sites {
+		s := r.Sites[pc]
+		for i := 0; i < 2; i++ {
+			s.Exec[i] += os.Exec[i]
+			s.Taken[i] += os.Taken[i]
+		}
+		r.Sites[pc] = s
+	}
+	for i := 0; i < 2; i++ {
+		r.Conds[i] += o.Conds[i]
+		for d := 0; d < isa.NumDirections; d++ {
+			r.Dirs[i][d] += o.Dirs[i][d]
+		}
+	}
+	return nil
+}
+
+// histogram builds the Figure 2 distribution over the given phase indices.
+func (r *BiasResult) histogram(idx []int) *stats.Histogram {
+	h := stats.NewHistogram(10)
+	for _, s := range r.Sites {
+		var exec, taken int64
+		for _, i := range idx {
+			exec += s.Exec[i]
+			taken += s.Taken[i]
+		}
+		if exec == 0 {
+			continue
+		}
+		h.Add(float64(taken)/float64(exec), exec)
+	}
+	return h
+}
+
+// EncodeJSON renders the Figure 2 + Table I artifact per aggregation phase.
+func (r *BiasResult) EncodeJSON() ([]byte, error) {
+	var out struct {
+		Sites       int                    `json:"sites"`
+		Buckets     [NumPhases][10]float64 `json:"buckets_pct"`
+		BiasedPct   [NumPhases]float64     `json:"biased_pct"`
+		BackwardPct [NumPhases]float64     `json:"backward_pct"`
+		ForwardPct  [NumPhases]float64     `json:"forward_pct"`
+		TakenPct    [NumPhases]float64     `json:"taken_pct"`
+	}
+	out.Sites = len(r.Sites)
+	for pi, p := range Phases {
+		idx := phaseRange(p)
+		h := r.histogram(idx)
+		for b := 0; b < 10; b++ {
+			out.Buckets[pi][b] = 100 * h.Fraction(b)
+		}
+		out.BiasedPct[pi] = 100 * (h.Fraction(0) + h.Fraction(h.Buckets()-1))
+		var conds, back, fwd int64
+		for _, i := range idx {
+			conds += r.Conds[i]
+			back += r.Dirs[i][isa.DirTakenBackward]
+			fwd += r.Dirs[i][isa.DirTakenForward]
+		}
+		if back+fwd > 0 {
+			out.BackwardPct[pi] = 100 * float64(back) / float64(back+fwd)
+			out.ForwardPct[pi] = 100 * float64(fwd) / float64(back+fwd)
+		}
+		if conds > 0 {
+			out.TakenPct[pi] = 100 * float64(back+fwd) / float64(conds)
+		}
+	}
+	return json.Marshal(&out)
 }

@@ -1,6 +1,9 @@
 package analysis
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"rebalance/internal/isa"
 )
 
@@ -137,4 +140,76 @@ func (a *BranchMix) Report() MixReport {
 		}
 	}
 	return r
+}
+
+// MixResult is the mergeable counter snapshot behind a MixReport: dynamic
+// instruction and per-kind counts per phase (0 serial, 1 parallel). It
+// implements the sim result contract (Merge, EncodeJSON).
+type MixResult struct {
+	Insts [2]int64
+	Kinds [2][isa.NumKinds]int64
+}
+
+// Result snapshots the analyzer's counters.
+func (a *BranchMix) Result() *MixResult {
+	return &MixResult{Insts: a.insts, Kinds: a.kinds}
+}
+
+// Merge folds another *MixResult's counters into r.
+func (r *MixResult) Merge(other any) error {
+	o, ok := other.(*MixResult)
+	if !ok {
+		return fmt.Errorf("analysis: cannot merge %T into *analysis.MixResult", other)
+	}
+	for p := 0; p < 2; p++ {
+		r.Insts[p] += o.Insts[p]
+		for k := 0; k < isa.NumKinds; k++ {
+			r.Kinds[p][k] += o.Kinds[p][k]
+		}
+	}
+	return nil
+}
+
+// phaseInsts sums r.Insts over the phase's internal indices.
+func (r *MixResult) phaseInsts(idx []int) int64 {
+	var n int64
+	for _, i := range idx {
+		n += r.Insts[i]
+	}
+	return n
+}
+
+// EncodeJSON renders the Figure 1 artifact: per aggregation phase (total,
+// serial, parallel), the dynamic instruction count, each kind's percentage
+// share, and the total branch percentage.
+func (r *MixResult) EncodeJSON() ([]byte, error) {
+	var out struct {
+		Insts     [NumPhases]int64              `json:"insts"`
+		BranchPct [NumPhases]float64            `json:"branch_pct"`
+		KindPct   map[string][NumPhases]float64 `json:"kind_pct"`
+	}
+	out.KindPct = make(map[string][NumPhases]float64, isa.NumKinds)
+	for pi, p := range Phases {
+		idx := phaseRange(p)
+		n := r.phaseInsts(idx)
+		out.Insts[pi] = n
+		if n == 0 {
+			continue
+		}
+		var branches int64
+		for k := 0; k < isa.NumKinds; k++ {
+			var c int64
+			for _, i := range idx {
+				c += r.Kinds[i][k]
+			}
+			if isa.Kind(k).IsBranch() {
+				branches += c
+			}
+			pcts := out.KindPct[isa.Kind(k).String()]
+			pcts[pi] = 100 * float64(c) / float64(n)
+			out.KindPct[isa.Kind(k).String()] = pcts
+		}
+		out.BranchPct[pi] = 100 * float64(branches) / float64(n)
+	}
+	return json.Marshal(&out)
 }

@@ -1,6 +1,9 @@
 package analysis
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"rebalance/internal/isa"
 	"rebalance/internal/stats"
 )
@@ -105,4 +108,82 @@ func (a *Footprint) Report(staticBytes int64) FootprintReport {
 		r.TouchedKB[i] = float64(a.TouchedBytes(p)) / 1024
 	}
 	return r
+}
+
+// FootprintResult is the mergeable snapshot behind a FootprintReport: the
+// per-phase chunk heat maps plus the program's static text size. Chunks are
+// code addresses, so shards of the same workload merge chunk-by-chunk. It
+// implements the sim result contract.
+type FootprintResult struct {
+	StaticBytes int64
+	Chunks      [2]map[uint64]int64
+}
+
+// Result snapshots the analyzer's chunk maps (deep copy); staticBytes is
+// the program's text size (program.Program.TextSize).
+func (a *Footprint) Result(staticBytes int64) *FootprintResult {
+	r := &FootprintResult{StaticBytes: staticBytes}
+	for i := 0; i < 2; i++ {
+		r.Chunks[i] = make(map[uint64]int64, len(a.chunks[i]))
+		for c, w := range a.chunks[i] {
+			r.Chunks[i][c] = w
+		}
+	}
+	return r
+}
+
+// Merge folds another *FootprintResult's chunk weights into r. The static
+// sizes must agree (same program image).
+func (r *FootprintResult) Merge(other any) error {
+	o, ok := other.(*FootprintResult)
+	if !ok {
+		return fmt.Errorf("analysis: cannot merge %T into *analysis.FootprintResult", other)
+	}
+	if r.StaticBytes == 0 {
+		r.StaticBytes = o.StaticBytes
+	} else if o.StaticBytes != 0 && o.StaticBytes != r.StaticBytes {
+		return fmt.Errorf("analysis: merging footprints of different programs (%dB vs %dB static)", o.StaticBytes, r.StaticBytes)
+	}
+	for i := 0; i < 2; i++ {
+		if r.Chunks[i] == nil {
+			r.Chunks[i] = make(map[uint64]int64, len(o.Chunks[i]))
+		}
+		for c, w := range o.Chunks[i] {
+			r.Chunks[i][c] += w
+		}
+	}
+	return nil
+}
+
+// bytesFor computes the smallest code footprint covering the fraction of
+// dynamic instructions over the given phase indices.
+func (r *FootprintResult) bytesFor(idx []int, coverage float64) int64 {
+	merged := make(map[uint64]int64)
+	for _, i := range idx {
+		for c, w := range r.Chunks[i] {
+			merged[c] += w
+		}
+	}
+	items := make([]stats.WeightedItem, 0, len(merged))
+	for _, w := range merged {
+		items = append(items, stats.WeightedItem{Size: footprintGranularity, Weight: w})
+	}
+	return stats.FootprintForCoverage(items, coverage)
+}
+
+// EncodeJSON renders the Figure 3 artifact per aggregation phase: static,
+// 99%-dynamic, and touched footprints in KB.
+func (r *FootprintResult) EncodeJSON() ([]byte, error) {
+	var out struct {
+		StaticKB  float64            `json:"static_kb"`
+		Dyn99KB   [NumPhases]float64 `json:"dyn99_kb"`
+		TouchedKB [NumPhases]float64 `json:"touched_kb"`
+	}
+	out.StaticKB = float64(r.StaticBytes) / 1024
+	for pi, p := range Phases {
+		idx := phaseRange(p)
+		out.Dyn99KB[pi] = float64(r.bytesFor(idx, 0.99)) / 1024
+		out.TouchedKB[pi] = float64(r.bytesFor(idx, 1.0)) / 1024
+	}
+	return json.Marshal(&out)
 }

@@ -1,9 +1,12 @@
 package bpred
 
 import (
+	"encoding/json"
+	"fmt"
 	"sync"
 
 	"rebalance/internal/isa"
+	"rebalance/internal/registry"
 )
 
 // Result accumulates the measurements the paper reports for one predictor
@@ -13,6 +16,8 @@ import (
 type Result struct {
 	// Name is the predictor configuration name.
 	Name string
+	// CostBits is the configuration's hardware storage cost.
+	CostBits int
 	// Insts counts all dynamic instructions per phase (0 serial, 1
 	// parallel); the MPKI denominator.
 	Insts [2]int64
@@ -114,6 +119,7 @@ func NewSim(preds ...Predictor) *Sim {
 	s := &Sim{preds: preds, results: make([]Result, len(preds))}
 	for i, p := range preds {
 		s.results[i].Name = p.Name()
+		s.results[i].CostBits = p.CostBits()
 	}
 	return s
 }
@@ -269,9 +275,21 @@ func (s *Sim) observeBatchParallel(batch []isa.Inst) {
 	s.cur ^= 1
 }
 
-// Merge accumulates another result's counters into r; the sweep harness uses
-// it to fold per-seed shards into one per-configuration aggregate.
-func (r *Result) Merge(o *Result) {
+// Merge accumulates another *Result's counters into r, folding per-seed
+// shards into one per-configuration aggregate. A zero receiver adopts the
+// other's identity; otherwise the configurations must match. The signature
+// satisfies the sim result contract (Merge(any) error) without importing
+// the sim package.
+func (r *Result) Merge(other any) error {
+	o, ok := other.(*Result)
+	if !ok {
+		return fmt.Errorf("bpred: cannot merge %T into *bpred.Result", other)
+	}
+	if r.Name == "" {
+		r.Name, r.CostBits = o.Name, o.CostBits
+	} else if o.Name != "" && o.Name != r.Name {
+		return fmt.Errorf("bpred: cannot merge result for %q into %q", o.Name, r.Name)
+	}
 	for p := 0; p < 2; p++ {
 		r.Insts[p] += o.Insts[p]
 		r.Branches[p] += o.Branches[p]
@@ -279,6 +297,41 @@ func (r *Result) Merge(o *Result) {
 			r.Miss[p][d] += o.Miss[p][d]
 		}
 	}
+	return nil
+}
+
+// EncodeJSON renders the result as its canonical JSON artifact: the raw
+// counters (exact, mergeable by consumers) plus the derived paper metrics.
+// Array-valued counters are indexed [serial, parallel]; miss rows are
+// indexed [not-taken, taken-backward, taken-forward].
+func (r *Result) EncodeJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name         string                      `json:"name"`
+		CostBits     int                         `json:"cost_bits"`
+		Insts        [2]int64                    `json:"insts"`
+		Branches     [2]int64                    `json:"branches"`
+		Miss         [2][isa.NumDirections]int64 `json:"miss"`
+		MPKI         float64                     `json:"mpki"`
+		MPKISerial   float64                     `json:"mpki_serial"`
+		MPKIParallel float64                     `json:"mpki_parallel"`
+		MissRate     float64                     `json:"miss_rate"`
+		MPKIByDir    [isa.NumDirections]float64  `json:"mpki_by_direction"`
+	}{
+		Name:         r.Name,
+		CostBits:     r.CostBits,
+		Insts:        r.Insts,
+		Branches:     r.Branches,
+		Miss:         r.Miss,
+		MPKI:         r.MPKI(),
+		MPKISerial:   r.MPKISerial(),
+		MPKIParallel: r.MPKIParallel(),
+		MissRate:     r.MissRate(),
+		MPKIByDir: [isa.NumDirections]float64{
+			r.MPKIByDirection(isa.DirNotTaken),
+			r.MPKIByDirection(isa.DirTakenBackward),
+			r.MPKIByDirection(isa.DirTakenForward),
+		},
+	})
 }
 
 // Results returns the per-predictor results with instruction counts filled
@@ -325,4 +378,49 @@ func StandardConfigs() []Predictor {
 		out[i] = f()
 	}
 	return out
+}
+
+// The configuration registry lets run specifications name predictors as
+// data: the nine Figure 5 configurations register themselves below, and
+// new scenarios add entries with RegisterConfig instead of new code paths.
+var configs = registry.New[func() Predictor]("predictor config")
+
+func init() {
+	for i := range standardFactories {
+		f := standardFactories[i]
+		RegisterConfig(f().Name(), f)
+	}
+}
+
+// RegisterConfig adds a named predictor configuration to the registry. The
+// factory must return a fresh power-on instance whose Name() equals name.
+// Registering an empty or duplicate name panics: registration happens at
+// init time and a collision is a programming error.
+func RegisterConfig(name string, factory func() Predictor) {
+	if factory == nil {
+		panic("bpred: RegisterConfig with nil factory")
+	}
+	configs.Register(name, factory)
+}
+
+// ConfigNames returns the registered configuration names in registration
+// order (the nine standard configurations first, in figure order).
+func ConfigNames() []string { return configs.Names() }
+
+// HasConfig reports whether the named configuration is registered, without
+// instantiating it — spec validation uses this so checking a name does not
+// allocate the predictor's tables.
+func HasConfig(name string) bool {
+	_, ok := configs.Lookup(name)
+	return ok
+}
+
+// NewByName returns a fresh (power-on state) instance of the named
+// registered configuration.
+func NewByName(name string) (Predictor, error) {
+	f, err := configs.Get(name)
+	if err != nil {
+		return nil, fmt.Errorf("bpred: %w", err)
+	}
+	return f(), nil
 }

@@ -10,6 +10,7 @@
 package btb
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"rebalance/internal/isa"
@@ -28,45 +29,45 @@ type entry struct {
 
 // BTB is a set-associative branch target buffer with true-LRU replacement.
 type BTB struct {
-	entries int
-	ways    int
-	sets    int
-	data    []entry
-	clock   uint32
+	sets  int
+	data  []entry
+	clock uint32
 
-	// Counters, per phase (0 serial, 1 parallel).
-	insts  [2]int64
-	lookup [2]int64
-	miss   [2]int64
+	// res accumulates the run's counters; Result() snapshots it.
+	res Result
+}
+
+// GeometryError reports why a geometry is invalid, or nil if it is usable.
+func GeometryError(entries, ways int) error {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		return fmt.Errorf("btb: invalid geometry %d entries, %d ways", entries, ways)
+	}
+	return nil
 }
 
 // New returns a BTB with the given total entries and associativity.
 // Entries must be divisible by ways.
 func New(entries, ways int) *BTB {
-	if entries <= 0 || ways <= 0 || entries%ways != 0 {
-		panic(fmt.Sprintf("btb: invalid geometry %d entries, %d ways", entries, ways))
+	if err := GeometryError(entries, ways); err != nil {
+		panic(err.Error())
 	}
-	return &BTB{
-		entries: entries,
-		ways:    ways,
-		sets:    entries / ways,
-		data:    make([]entry, entries),
+	b := &BTB{
+		sets: entries / ways,
+		data: make([]entry, entries),
 	}
+	b.res = Result{Entries: entries, Ways: ways}
+	b.res.Name = b.res.geometryName()
+	return b
 }
 
 // Name describes the configuration as the Figure 7 legend does.
-func (b *BTB) Name() string {
-	if b.entries >= 1024 && b.entries%1024 == 0 {
-		return fmt.Sprintf("%dK-entry, %d-way", b.entries/1024, b.ways)
-	}
-	return fmt.Sprintf("%d-entry, %d-way", b.entries, b.ways)
-}
+func (b *BTB) Name() string { return b.res.Name }
 
 // Entries returns the total entry count.
-func (b *BTB) Entries() int { return b.entries }
+func (b *BTB) Entries() int { return b.res.Entries }
 
 // Ways returns the associativity.
-func (b *BTB) Ways() int { return b.ways }
+func (b *BTB) Ways() int { return b.res.Ways }
 
 // index computes the set index from the branch address: the paper's
 // "simple modulo indexing".
@@ -97,16 +98,17 @@ func (b *BTB) observeOne(in *isa.Inst) {
 	if !in.Serial {
 		p = 1
 	}
-	b.insts[p]++
+	b.res.Insts[p]++
 	if !in.Kind.IsBranch() || !in.Taken {
 		return
 	}
-	b.lookup[p]++
+	b.res.Lookups[p]++
 	b.clock++
+	ways := b.res.Ways
 	set := b.index(in.PC)
 	tag := b.tag(in.PC)
-	base := set * b.ways
-	for w := 0; w < b.ways; w++ {
+	base := set * ways
+	for w := 0; w < ways; w++ {
 		e := &b.data[base+w]
 		if e.valid && e.tag == tag {
 			e.lru = b.clock
@@ -114,9 +116,9 @@ func (b *BTB) observeOne(in *isa.Inst) {
 			return // hit
 		}
 	}
-	b.miss[p]++
+	b.res.Misses[p]++
 	victim := base
-	for w := 0; w < b.ways; w++ {
+	for w := 0; w < ways; w++ {
 		e := &b.data[base+w]
 		if !e.valid {
 			victim = base + w
@@ -130,19 +132,76 @@ func (b *BTB) observeOne(in *isa.Inst) {
 }
 
 // MPKI returns BTB misses per kilo-instruction over the whole stream.
-func (b *BTB) MPKI() float64 { return b.mpki(0, 1) }
+func (b *BTB) MPKI() float64 { return b.res.MPKI() }
 
 // MPKISerial returns MPKI over serial sections.
-func (b *BTB) MPKISerial() float64 { return b.mpki(0) }
+func (b *BTB) MPKISerial() float64 { return b.res.MPKISerial() }
 
 // MPKIParallel returns MPKI over parallel sections.
-func (b *BTB) MPKIParallel() float64 { return b.mpki(1) }
+func (b *BTB) MPKIParallel() float64 { return b.res.MPKIParallel() }
 
-func (b *BTB) mpki(phases ...int) float64 {
+// MissRate returns misses per taken-branch lookup.
+func (b *BTB) MissRate() float64 { return b.res.MissRate() }
+
+// Lookups returns the number of taken-branch probes.
+func (b *BTB) Lookups() int64 { return b.res.Lookups[0] + b.res.Lookups[1] }
+
+// Misses returns the number of BTB misses.
+func (b *BTB) Misses() int64 { return b.res.Misses[0] + b.res.Misses[1] }
+
+// Result snapshots the run's counters as a mergeable, encodable record.
+func (b *BTB) Result() *Result {
+	r := b.res
+	return &r
+}
+
+// Reset clears contents and counters.
+func (b *BTB) Reset() {
+	for i := range b.data {
+		b.data[i] = entry{}
+	}
+	b.clock = 0
+	b.res.Insts = [2]int64{}
+	b.res.Lookups = [2]int64{}
+	b.res.Misses = [2]int64{}
+}
+
+// Result holds one BTB configuration's counters over a stream: dynamic
+// instructions, taken-branch probes, and misses, per phase (0 serial, 1
+// parallel). It merges across shards of the same geometry and encodes as
+// the canonical JSON artifact.
+type Result struct {
+	// Name is the Figure 7 legend name of the geometry.
+	Name string
+	// Entries and Ways are the geometry.
+	Entries, Ways int
+	// Insts, Lookups, and Misses count per phase (0 serial, 1 parallel).
+	Insts   [2]int64
+	Lookups [2]int64
+	Misses  [2]int64
+}
+
+func (r *Result) geometryName() string {
+	if r.Entries >= 1024 && r.Entries%1024 == 0 {
+		return fmt.Sprintf("%dK-entry, %d-way", r.Entries/1024, r.Ways)
+	}
+	return fmt.Sprintf("%d-entry, %d-way", r.Entries, r.Ways)
+}
+
+// MPKI returns BTB misses per kilo-instruction over the whole stream.
+func (r *Result) MPKI() float64 { return r.mpki(0, 1) }
+
+// MPKISerial returns MPKI over serial sections.
+func (r *Result) MPKISerial() float64 { return r.mpki(0) }
+
+// MPKIParallel returns MPKI over parallel sections.
+func (r *Result) MPKIParallel() float64 { return r.mpki(1) }
+
+func (r *Result) mpki(phases ...int) float64 {
 	var insts, miss int64
 	for _, p := range phases {
-		insts += b.insts[p]
-		miss += b.miss[p]
+		insts += r.Insts[p]
+		miss += r.Misses[p]
 	}
 	if insts == 0 {
 		return 0
@@ -151,29 +210,50 @@ func (b *BTB) mpki(phases ...int) float64 {
 }
 
 // MissRate returns misses per taken-branch lookup.
-func (b *BTB) MissRate() float64 {
-	l := b.lookup[0] + b.lookup[1]
+func (r *Result) MissRate() float64 {
+	l := r.Lookups[0] + r.Lookups[1]
 	if l == 0 {
 		return 0
 	}
-	return float64(b.miss[0]+b.miss[1]) / float64(l)
+	return float64(r.Misses[0]+r.Misses[1]) / float64(l)
 }
 
-// Lookups returns the number of taken-branch probes.
-func (b *BTB) Lookups() int64 { return b.lookup[0] + b.lookup[1] }
-
-// Misses returns the number of BTB misses.
-func (b *BTB) Misses() int64 { return b.miss[0] + b.miss[1] }
-
-// Reset clears contents and counters.
-func (b *BTB) Reset() {
-	for i := range b.data {
-		b.data[i] = entry{}
+// Merge folds another *Result's counters into r. A zero receiver adopts
+// the other's geometry; otherwise the geometries must match.
+func (r *Result) Merge(other any) error {
+	o, ok := other.(*Result)
+	if !ok {
+		return fmt.Errorf("btb: cannot merge %T into *btb.Result", other)
 	}
-	b.clock = 0
-	b.insts = [2]int64{}
-	b.lookup = [2]int64{}
-	b.miss = [2]int64{}
+	if r.Entries == 0 {
+		r.Name, r.Entries, r.Ways = o.Name, o.Entries, o.Ways
+	} else if o.Entries != 0 && (o.Entries != r.Entries || o.Ways != r.Ways) {
+		return fmt.Errorf("btb: cannot merge %q into %q", o.Name, r.Name)
+	}
+	for p := 0; p < 2; p++ {
+		r.Insts[p] += o.Insts[p]
+		r.Lookups[p] += o.Lookups[p]
+		r.Misses[p] += o.Misses[p]
+	}
+	return nil
+}
+
+// EncodeJSON renders the result as its canonical JSON artifact. Array
+// counters are indexed [serial, parallel].
+func (r *Result) EncodeJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name         string   `json:"name"`
+		Entries      int      `json:"entries"`
+		Ways         int      `json:"ways"`
+		Insts        [2]int64 `json:"insts"`
+		Lookups      [2]int64 `json:"lookups"`
+		Misses       [2]int64 `json:"misses"`
+		MPKI         float64  `json:"mpki"`
+		MPKISerial   float64  `json:"mpki_serial"`
+		MPKIParallel float64  `json:"mpki_parallel"`
+		MissRate     float64  `json:"miss_rate"`
+	}{r.Name, r.Entries, r.Ways, r.Insts, r.Lookups, r.Misses,
+		r.MPKI(), r.MPKISerial(), r.MPKIParallel(), r.MissRate()})
 }
 
 // StandardConfigs returns the nine Figure 7 configurations: {256, 512, 1K}

@@ -15,6 +15,7 @@
 package icache
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"rebalance/internal/isa"
@@ -31,65 +32,62 @@ type line struct {
 
 // Cache is a set-associative instruction cache with LRU replacement.
 type Cache struct {
-	sizeBytes int
-	lineBytes int
-	ways      int
-	sets      int
-	lines     []line
-	clock     uint32
+	sets  int
+	lines []line
+	clock uint32
 
 	lastLine uint64 // last line address fetched from, +1 (0 = none)
 	lastPtr  *line  // resident entry of lastLine, for O(1) usage marking
 
-	insts    [2]int64
-	accesses [2]int64
-	misses   [2]int64
-
-	// Usefulness accounting: on every eviction or at Finish, the filled
-	// line's consumed-sector count is accumulated.
-	usedSectors  int64
-	totalSectors int64
+	// res accumulates the run's counters; Result() snapshots it.
+	res Result
 }
 
 // sectorBytes is the granularity of usefulness tracking.
 const sectorBytes = 8
 
+// GeometryError reports why a geometry is invalid, or nil if it is usable.
+func GeometryError(sizeBytes, lineBytes, ways int) error {
+	if sizeBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		return fmt.Errorf("icache: invalid geometry size=%d line=%d ways=%d", sizeBytes, lineBytes, ways)
+	}
+	if lineBytes%sectorBytes != 0 || lineBytes > 16*sectorBytes {
+		return fmt.Errorf("icache: line width %dB unsupported", lineBytes)
+	}
+	nLines := sizeBytes / lineBytes
+	if nLines == 0 || nLines%ways != 0 {
+		return fmt.Errorf("icache: size %dB / line %dB not divisible into %d ways", sizeBytes, lineBytes, ways)
+	}
+	return nil
+}
+
 // New returns a cache of sizeBytes with the given line width and
 // associativity. Panics on inconsistent geometry, which is a programming
 // error in experiment setup.
 func New(sizeBytes, lineBytes, ways int) *Cache {
-	if sizeBytes <= 0 || lineBytes <= 0 || ways <= 0 {
-		panic(fmt.Sprintf("icache: invalid geometry size=%d line=%d ways=%d", sizeBytes, lineBytes, ways))
+	if err := GeometryError(sizeBytes, lineBytes, ways); err != nil {
+		panic(err.Error())
 	}
-	if lineBytes%sectorBytes != 0 || lineBytes > 16*sectorBytes {
-		panic(fmt.Sprintf("icache: line width %dB unsupported", lineBytes))
+	c := &Cache{
+		sets:  sizeBytes / lineBytes / ways,
+		lines: make([]line, sizeBytes/lineBytes),
 	}
-	nLines := sizeBytes / lineBytes
-	if nLines == 0 || nLines%ways != 0 {
-		panic(fmt.Sprintf("icache: size %dB / line %dB not divisible into %d ways", sizeBytes, lineBytes, ways))
-	}
-	return &Cache{
-		sizeBytes: sizeBytes,
-		lineBytes: lineBytes,
-		ways:      ways,
-		sets:      nLines / ways,
-		lines:     make([]line, nLines),
-	}
+	c.res = Result{SizeBytes: sizeBytes, LineBytes: lineBytes, Ways: ways}
+	c.res.Name = c.res.geometryName()
+	return c
 }
 
 // Name describes the configuration as the figures' legends do.
-func (c *Cache) Name() string {
-	return fmt.Sprintf("%dKB, %dB-line, %d-way", c.sizeBytes/1024, c.lineBytes, c.ways)
-}
+func (c *Cache) Name() string { return c.res.Name }
 
 // SizeBytes returns the cache capacity.
-func (c *Cache) SizeBytes() int { return c.sizeBytes }
+func (c *Cache) SizeBytes() int { return c.res.SizeBytes }
 
 // LineBytes returns the line width.
-func (c *Cache) LineBytes() int { return c.lineBytes }
+func (c *Cache) LineBytes() int { return c.res.LineBytes }
 
 // Ways returns the associativity.
-func (c *Cache) Ways() int { return c.ways }
+func (c *Cache) Ways() int { return c.res.Ways }
 
 // Observe implements trace.Observer.
 func (c *Cache) Observe(in isa.Inst) {
@@ -110,9 +108,10 @@ func (c *Cache) observeOne(in *isa.Inst) {
 	if !in.Serial {
 		p = 1
 	}
-	c.insts[p]++
+	c.res.Insts[p]++
 
-	lineAddr := uint64(in.PC) / uint64(c.lineBytes)
+	lineBytes := uint64(c.res.LineBytes)
+	lineAddr := uint64(in.PC) / lineBytes
 	// Sequential extraction within the current line costs no access.
 	if lineAddr+1 != c.lastLine {
 		c.lastPtr = c.access(lineAddr, p)
@@ -123,10 +122,10 @@ func (c *Cache) observeOne(in *isa.Inst) {
 	// An instruction can straddle into the next line; fetching it requires
 	// that line too.
 	endAddr := uint64(in.PC) + uint64(in.Size) - 1
-	if endLine := endAddr / uint64(c.lineBytes); endLine != lineAddr {
+	if endLine := endAddr / lineBytes; endLine != lineAddr {
 		c.lastPtr = c.access(endLine, p)
 		c.lastLine = endLine + 1
-		c.markUse(c.lastPtr, endLine*uint64(c.lineBytes), int(endAddr%uint64(c.lineBytes))+1)
+		c.markUse(c.lastPtr, endLine*lineBytes, int(endAddr%lineBytes)+1)
 	}
 
 	// A taken branch redirects fetch: the next access probes the cache
@@ -140,21 +139,22 @@ func (c *Cache) observeOne(in *isa.Inst) {
 // access looks up a line address, updating LRU and miss counters, and
 // returns the resident entry (after fill on a miss).
 func (c *Cache) access(lineAddr uint64, phase int) *line {
-	c.accesses[phase]++
+	c.res.Accesses[phase]++
 	c.clock++
+	ways := c.res.Ways
 	set := int(lineAddr % uint64(c.sets))
 	tag := lineAddr / uint64(c.sets)
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
+	base := set * ways
+	for w := 0; w < ways; w++ {
 		l := &c.lines[base+w]
 		if l.valid && l.tag == tag {
 			l.lru = c.clock
 			return l
 		}
 	}
-	c.misses[phase]++
+	c.res.Misses[phase]++
 	victim := base
-	for w := 0; w < c.ways; w++ {
+	for w := 0; w < ways; w++ {
 		l := &c.lines[base+w]
 		if !l.valid {
 			victim = base + w
@@ -174,11 +174,11 @@ func (c *Cache) markUse(l *line, pc uint64, size int) {
 	if l == nil || !l.valid {
 		return
 	}
-	off := int(pc % uint64(c.lineBytes))
+	off := int(pc % uint64(c.res.LineBytes))
 	first := off / sectorBytes
 	last := (off + size - 1) / sectorBytes
-	if last >= c.lineBytes/sectorBytes {
-		last = c.lineBytes/sectorBytes - 1
+	if last >= c.res.LineBytes/sectorBytes {
+		last = c.res.LineBytes/sectorBytes - 1
 	}
 	for s := first; s <= last; s++ {
 		l.used |= 1 << s
@@ -190,8 +190,8 @@ func (c *Cache) retire(l *line) {
 	if !l.valid {
 		return
 	}
-	c.totalSectors += int64(c.lineBytes / sectorBytes)
-	c.usedSectors += int64(popcount16(l.used))
+	c.res.TotalSectors += int64(c.res.LineBytes / sectorBytes)
+	c.res.UsedSectors += int64(popcount16(l.used))
 }
 
 func popcount16(x uint16) int {
@@ -213,50 +213,34 @@ func (c *Cache) Finish() {
 }
 
 // MPKI returns I-cache misses per kilo-instruction over the whole stream.
-func (c *Cache) MPKI() float64 { return c.mpki(0, 1) }
+func (c *Cache) MPKI() float64 { return c.res.MPKI() }
 
 // MPKISerial returns MPKI over serial sections.
-func (c *Cache) MPKISerial() float64 { return c.mpki(0) }
+func (c *Cache) MPKISerial() float64 { return c.res.MPKISerial() }
 
 // MPKIParallel returns MPKI over parallel sections.
-func (c *Cache) MPKIParallel() float64 { return c.mpki(1) }
-
-func (c *Cache) mpki(phases ...int) float64 {
-	var insts, miss int64
-	for _, p := range phases {
-		insts += c.insts[p]
-		miss += c.misses[p]
-	}
-	if insts == 0 {
-		return 0
-	}
-	return 1000 * float64(miss) / float64(insts)
-}
+func (c *Cache) MPKIParallel() float64 { return c.res.MPKIParallel() }
 
 // MissRate returns misses per cache access.
-func (c *Cache) MissRate() float64 {
-	a := c.accesses[0] + c.accesses[1]
-	if a == 0 {
-		return 0
-	}
-	return float64(c.misses[0]+c.misses[1]) / float64(a)
-}
+func (c *Cache) MissRate() float64 { return c.res.MissRate() }
 
 // Accesses returns the number of cache probes (sequential extraction within
 // a line does not probe).
-func (c *Cache) Accesses() int64 { return c.accesses[0] + c.accesses[1] }
+func (c *Cache) Accesses() int64 { return c.res.Accesses[0] + c.res.Accesses[1] }
 
 // Misses returns the total misses.
-func (c *Cache) Misses() int64 { return c.misses[0] + c.misses[1] }
+func (c *Cache) Misses() int64 { return c.res.Misses[0] + c.res.Misses[1] }
 
 // Usefulness returns the average fraction of distinct line bytes consumed
 // between fill and eviction, at 8-byte-sector granularity. Call Finish
 // first to include still-resident lines.
-func (c *Cache) Usefulness() float64 {
-	if c.totalSectors == 0 {
-		return 0
-	}
-	return float64(c.usedSectors) / float64(c.totalSectors)
+func (c *Cache) Usefulness() float64 { return c.res.Usefulness() }
+
+// Result snapshots the run's counters as a mergeable, encodable record.
+// Call Finish first so the usefulness metric covers still-resident lines.
+func (c *Cache) Result() *Result {
+	r := c.res
+	return &r
 }
 
 // Reset clears contents and counters.
@@ -267,11 +251,113 @@ func (c *Cache) Reset() {
 	c.clock = 0
 	c.lastLine = 0
 	c.lastPtr = nil
-	c.insts = [2]int64{}
-	c.accesses = [2]int64{}
-	c.misses = [2]int64{}
-	c.usedSectors = 0
-	c.totalSectors = 0
+	c.res.Insts = [2]int64{}
+	c.res.Accesses = [2]int64{}
+	c.res.Misses = [2]int64{}
+	c.res.UsedSectors = 0
+	c.res.TotalSectors = 0
+}
+
+// Result holds one cache configuration's counters over a stream. It merges
+// across shards of the same geometry and encodes as the canonical JSON
+// artifact.
+type Result struct {
+	// Name is the legend name of the geometry.
+	Name string
+	// SizeBytes, LineBytes, and Ways are the geometry.
+	SizeBytes, LineBytes, Ways int
+	// Insts, Accesses, and Misses count per phase (0 serial, 1 parallel).
+	Insts    [2]int64
+	Accesses [2]int64
+	Misses   [2]int64
+	// UsedSectors and TotalSectors accumulate the usefulness metric over
+	// retired lines.
+	UsedSectors, TotalSectors int64
+}
+
+func (r *Result) geometryName() string {
+	return fmt.Sprintf("%dKB, %dB-line, %d-way", r.SizeBytes/1024, r.LineBytes, r.Ways)
+}
+
+// MPKI returns I-cache misses per kilo-instruction over the whole stream.
+func (r *Result) MPKI() float64 { return r.mpki(0, 1) }
+
+// MPKISerial returns MPKI over serial sections.
+func (r *Result) MPKISerial() float64 { return r.mpki(0) }
+
+// MPKIParallel returns MPKI over parallel sections.
+func (r *Result) MPKIParallel() float64 { return r.mpki(1) }
+
+func (r *Result) mpki(phases ...int) float64 {
+	var insts, miss int64
+	for _, p := range phases {
+		insts += r.Insts[p]
+		miss += r.Misses[p]
+	}
+	if insts == 0 {
+		return 0
+	}
+	return 1000 * float64(miss) / float64(insts)
+}
+
+// MissRate returns misses per cache access.
+func (r *Result) MissRate() float64 {
+	a := r.Accesses[0] + r.Accesses[1]
+	if a == 0 {
+		return 0
+	}
+	return float64(r.Misses[0]+r.Misses[1]) / float64(a)
+}
+
+// Usefulness returns the average fraction of distinct line bytes consumed
+// between fill and eviction.
+func (r *Result) Usefulness() float64 {
+	if r.TotalSectors == 0 {
+		return 0
+	}
+	return float64(r.UsedSectors) / float64(r.TotalSectors)
+}
+
+// Merge folds another *Result's counters into r. A zero receiver adopts
+// the other's geometry; otherwise the geometries must match.
+func (r *Result) Merge(other any) error {
+	o, ok := other.(*Result)
+	if !ok {
+		return fmt.Errorf("icache: cannot merge %T into *icache.Result", other)
+	}
+	if r.SizeBytes == 0 {
+		r.Name, r.SizeBytes, r.LineBytes, r.Ways = o.Name, o.SizeBytes, o.LineBytes, o.Ways
+	} else if o.SizeBytes != 0 && (o.SizeBytes != r.SizeBytes || o.LineBytes != r.LineBytes || o.Ways != r.Ways) {
+		return fmt.Errorf("icache: cannot merge %q into %q", o.Name, r.Name)
+	}
+	for p := 0; p < 2; p++ {
+		r.Insts[p] += o.Insts[p]
+		r.Accesses[p] += o.Accesses[p]
+		r.Misses[p] += o.Misses[p]
+	}
+	r.UsedSectors += o.UsedSectors
+	r.TotalSectors += o.TotalSectors
+	return nil
+}
+
+// EncodeJSON renders the result as its canonical JSON artifact. Array
+// counters are indexed [serial, parallel].
+func (r *Result) EncodeJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name         string   `json:"name"`
+		SizeBytes    int      `json:"size_bytes"`
+		LineBytes    int      `json:"line_bytes"`
+		Ways         int      `json:"ways"`
+		Insts        [2]int64 `json:"insts"`
+		Accesses     [2]int64 `json:"accesses"`
+		Misses       [2]int64 `json:"misses"`
+		MPKI         float64  `json:"mpki"`
+		MPKISerial   float64  `json:"mpki_serial"`
+		MPKIParallel float64  `json:"mpki_parallel"`
+		MissRate     float64  `json:"miss_rate"`
+		Usefulness   float64  `json:"usefulness"`
+	}{r.Name, r.SizeBytes, r.LineBytes, r.Ways, r.Insts, r.Accesses, r.Misses,
+		r.MPKI(), r.MPKISerial(), r.MPKIParallel(), r.MissRate(), r.Usefulness()})
 }
 
 // StandardSizeConfigs returns the nine Figure 8 configurations:

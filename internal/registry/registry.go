@@ -1,0 +1,68 @@
+// Package registry provides the one named-factory registry shared by
+// every "new scenarios are data" extension point: workload models
+// (workload.Register), predictor configurations (bpred.RegisterConfig),
+// and observer kinds (sim.RegisterObserver). Registration happens at init
+// time; collisions are programming errors and panic.
+package registry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry is an ordered, named collection of values (typically
+// factories). The zero value is not usable; call New.
+type Registry[T any] struct {
+	what  string // e.g. "workload", used in panic and error messages
+	mu    sync.Mutex
+	order []string
+	items map[string]T
+}
+
+// New returns an empty registry; what names the registered kind in
+// messages (e.g. "workload", "predictor config").
+func New[T any](what string) *Registry[T] {
+	return &Registry[T]{what: what, items: map[string]T{}}
+}
+
+// Register adds a named item. An empty or duplicate name panics:
+// registration happens at init time and a collision is a programming
+// error.
+func (r *Registry[T]) Register(name string, item T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if name == "" {
+		panic(fmt.Sprintf("registry: %s registered with empty name", r.what))
+	}
+	if _, dup := r.items[name]; dup {
+		panic(fmt.Sprintf("registry: %s %q registered twice", r.what, name))
+	}
+	r.items[name] = item
+	r.order = append(r.order, name)
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry[T]) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Lookup returns the named item, or false if it is not registered.
+func (r *Registry[T]) Lookup(name string) (T, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	item, ok := r.items[name]
+	return item, ok
+}
+
+// Get returns the named item or an error listing what is registered.
+func (r *Registry[T]) Get(name string) (T, error) {
+	item, ok := r.Lookup(name)
+	if !ok {
+		return item, fmt.Errorf("unknown %s %q (have %v)", r.what, name, r.Names())
+	}
+	return item, nil
+}

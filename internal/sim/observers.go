@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"rebalance/internal/analysis"
+	"rebalance/internal/bpred"
+	"rebalance/internal/btb"
+	"rebalance/internal/icache"
+	"rebalance/internal/isa"
+	"rebalance/internal/program"
+)
+
+func init() {
+	RegisterObserver("bpred", bpredFactory)
+	RegisterObserver("btb", btbFactory)
+	RegisterObserver("icache", icacheFactory)
+	RegisterObserver("branch-mix", analysisFactory("branch-mix", func(*program.Program) ShardObserver {
+		return &mixShard{mix: analysis.NewBranchMix()}
+	}, func() Result { return &analysis.MixResult{} }))
+	RegisterObserver("bias", analysisFactory("bias", func(*program.Program) ShardObserver {
+		return &biasShard{bias: analysis.NewBias()}
+	}, func() Result { return &analysis.BiasResult{} }))
+	RegisterObserver("footprint", analysisFactory("footprint", func(p *program.Program) ShardObserver {
+		return &fpShard{fp: analysis.NewFootprint(), static: p.TextSize}
+	}, func() Result { return &analysis.FootprintResult{} }))
+	RegisterObserver("bbl", analysisFactory("bbl", func(*program.Program) ShardObserver {
+		return &bblShard{bbl: analysis.NewBBL()}
+	}, func() Result { return &analysis.BBLResult{} }))
+}
+
+// --- bpred ---
+
+// bpredOptions selects predictor configurations by registry name. With
+// Grouped false (default) every configuration becomes its own shard axis —
+// the sweep-grid shape rebalance-bench uses. With Grouped true all
+// configurations share one pass over each stream (the paper's
+// several-pintools-one-run shape); Parallel additionally fans the grouped
+// simulation out to one worker goroutine per predictor (implies Grouped).
+type bpredOptions struct {
+	Configs  []string `json:"configs"`
+	Grouped  bool     `json:"grouped"`
+	Parallel bool     `json:"parallel"`
+}
+
+func bpredFactory(opts json.RawMessage) ([]ObserverConfig, error) {
+	var o bpredOptions
+	if err := strictDecode(opts, &o); err != nil {
+		return nil, err
+	}
+	if len(o.Configs) == 0 {
+		o.Configs = bpred.ConfigNames()
+	}
+	for _, name := range o.Configs {
+		if !bpred.HasConfig(name) {
+			return nil, fmt.Errorf("unknown predictor config %q (have %v)", name, bpred.ConfigNames())
+		}
+	}
+	if o.Grouped || o.Parallel {
+		return []ObserverConfig{bpredGroupCfg{names: o.Configs, parallel: o.Parallel}}, nil
+	}
+	cfgs := make([]ObserverConfig, len(o.Configs))
+	for i, name := range o.Configs {
+		cfgs[i] = bpredCfg{name: name}
+	}
+	return cfgs, nil
+}
+
+type bpredCfg struct{ name string }
+
+func (c bpredCfg) Key() string { return "bpred/" + c.name }
+
+func (c bpredCfg) NewObserver(*program.Program) ShardObserver {
+	p, err := bpred.NewByName(c.name)
+	if err != nil {
+		panic(err) // name was validated at expansion
+	}
+	return &bpredShard{sim: bpred.NewSim(p)}
+}
+
+func (c bpredCfg) NewResult() Result { return &bpred.Result{} }
+
+type bpredShard struct{ sim *bpred.Sim }
+
+func (b *bpredShard) Observe(in isa.Inst)           { b.sim.Observe(in) }
+func (b *bpredShard) ObserveBatch(batch []isa.Inst) { b.sim.ObserveBatch(batch) }
+
+func (b *bpredShard) Finish() (Result, error) {
+	rs := b.sim.Results()
+	return &rs[0], nil
+}
+
+type bpredGroupCfg struct {
+	names    []string
+	parallel bool
+}
+
+func (c bpredGroupCfg) Key() string { return "bpred/" + strings.Join(c.names, "+") }
+
+func (c bpredGroupCfg) NewObserver(*program.Program) ShardObserver {
+	preds := make([]bpred.Predictor, len(c.names))
+	for i, name := range c.names {
+		p, err := bpred.NewByName(name)
+		if err != nil {
+			panic(err) // name was validated at expansion
+		}
+		preds[i] = p
+	}
+	s := bpred.NewSim(preds...)
+	if c.parallel {
+		s.Parallelize()
+	}
+	return &bpredGroupShard{sim: s}
+}
+
+func (c bpredGroupCfg) NewResult() Result {
+	rs := make([]Result, len(c.names))
+	for i := range rs {
+		rs[i] = &bpred.Result{}
+	}
+	return &GroupResult{Results: rs}
+}
+
+type bpredGroupShard struct{ sim *bpred.Sim }
+
+func (b *bpredGroupShard) Observe(in isa.Inst)           { b.sim.Observe(in) }
+func (b *bpredGroupShard) ObserveBatch(batch []isa.Inst) { b.sim.ObserveBatch(batch) }
+func (b *bpredGroupShard) Close()                        { b.sim.Close() }
+
+func (b *bpredGroupShard) Finish() (Result, error) {
+	rs := b.sim.Results()
+	out := &GroupResult{Results: make([]Result, len(rs))}
+	for i := range rs {
+		out.Results[i] = &rs[i]
+	}
+	return out, nil
+}
+
+// --- btb ---
+
+// btbOptions selects BTB geometries; empty geometries select the standard
+// Figure 7 grid ({256, 512, 1K} entries x {2, 4, 8} ways).
+type btbOptions struct {
+	Geometries []btbGeometry `json:"geometries"`
+}
+
+type btbGeometry struct {
+	Entries int `json:"entries"`
+	Ways    int `json:"ways"`
+}
+
+func btbFactory(opts json.RawMessage) ([]ObserverConfig, error) {
+	var o btbOptions
+	if err := strictDecode(opts, &o); err != nil {
+		return nil, err
+	}
+	if len(o.Geometries) == 0 {
+		for _, entries := range []int{256, 512, 1024} {
+			for _, ways := range []int{2, 4, 8} {
+				o.Geometries = append(o.Geometries, btbGeometry{entries, ways})
+			}
+		}
+	}
+	cfgs := make([]ObserverConfig, len(o.Geometries))
+	for i, g := range o.Geometries {
+		if err := btb.GeometryError(g.Entries, g.Ways); err != nil {
+			return nil, err
+		}
+		cfgs[i] = btbCfg{g}
+	}
+	return cfgs, nil
+}
+
+type btbCfg struct{ g btbGeometry }
+
+func (c btbCfg) Key() string { return fmt.Sprintf("btb/%dx%d", c.g.Entries, c.g.Ways) }
+
+func (c btbCfg) NewObserver(*program.Program) ShardObserver {
+	return &btbShard{b: btb.New(c.g.Entries, c.g.Ways)}
+}
+
+func (c btbCfg) NewResult() Result { return &btb.Result{} }
+
+type btbShard struct{ b *btb.BTB }
+
+func (s *btbShard) Observe(in isa.Inst)           { s.b.Observe(in) }
+func (s *btbShard) ObserveBatch(batch []isa.Inst) { s.b.ObserveBatch(batch) }
+func (s *btbShard) Finish() (Result, error)       { return s.b.Result(), nil }
+
+// --- icache ---
+
+// icacheOptions selects cache geometries; empty geometries select the
+// standard Figure 8 grid ({8, 16, 32}KB x {2, 4, 8} ways, 64B lines).
+type icacheOptions struct {
+	Geometries []icacheGeometry `json:"geometries"`
+}
+
+type icacheGeometry struct {
+	SizeKB    int `json:"size_kb"`
+	LineBytes int `json:"line_bytes"`
+	Ways      int `json:"ways"`
+}
+
+func icacheFactory(opts json.RawMessage) ([]ObserverConfig, error) {
+	var o icacheOptions
+	if err := strictDecode(opts, &o); err != nil {
+		return nil, err
+	}
+	if len(o.Geometries) == 0 {
+		for _, kb := range []int{8, 16, 32} {
+			for _, ways := range []int{2, 4, 8} {
+				o.Geometries = append(o.Geometries, icacheGeometry{kb, 64, ways})
+			}
+		}
+	}
+	cfgs := make([]ObserverConfig, len(o.Geometries))
+	for i, g := range o.Geometries {
+		if g.LineBytes == 0 {
+			g.LineBytes = 64
+		}
+		if err := icache.GeometryError(g.SizeKB*1024, g.LineBytes, g.Ways); err != nil {
+			return nil, err
+		}
+		cfgs[i] = icacheCfg{g}
+	}
+	return cfgs, nil
+}
+
+type icacheCfg struct{ g icacheGeometry }
+
+func (c icacheCfg) Key() string {
+	return fmt.Sprintf("icache/%dKB-%dB-%dw", c.g.SizeKB, c.g.LineBytes, c.g.Ways)
+}
+
+func (c icacheCfg) NewObserver(*program.Program) ShardObserver {
+	return &icacheShard{c: icache.New(c.g.SizeKB*1024, c.g.LineBytes, c.g.Ways)}
+}
+
+func (c icacheCfg) NewResult() Result { return &icache.Result{} }
+
+type icacheShard struct{ c *icache.Cache }
+
+func (s *icacheShard) Observe(in isa.Inst)           { s.c.Observe(in) }
+func (s *icacheShard) ObserveBatch(batch []isa.Inst) { s.c.ObserveBatch(batch) }
+
+func (s *icacheShard) Finish() (Result, error) {
+	s.c.Finish() // retire resident lines so usefulness covers the run
+	return s.c.Result(), nil
+}
+
+// --- analysis collectors ---
+
+// analysisFactory wraps a single-configuration analysis collector; the
+// collectors take no options, so any options payload is rejected.
+func analysisFactory(key string, newObs func(*program.Program) ShardObserver, newRes func() Result) ObserverFactory {
+	return func(opts json.RawMessage) ([]ObserverConfig, error) {
+		if err := strictDecode(opts, &struct{}{}); err != nil {
+			return nil, err
+		}
+		return []ObserverConfig{analysisCfg{key: key, newObs: newObs, newRes: newRes}}, nil
+	}
+}
+
+type analysisCfg struct {
+	key    string
+	newObs func(*program.Program) ShardObserver
+	newRes func() Result
+}
+
+func (c analysisCfg) Key() string                                  { return c.key }
+func (c analysisCfg) NewObserver(p *program.Program) ShardObserver { return c.newObs(p) }
+func (c analysisCfg) NewResult() Result                            { return c.newRes() }
+
+type mixShard struct{ mix *analysis.BranchMix }
+
+func (s *mixShard) Observe(in isa.Inst)           { s.mix.Observe(in) }
+func (s *mixShard) ObserveBatch(batch []isa.Inst) { s.mix.ObserveBatch(batch) }
+func (s *mixShard) Finish() (Result, error)       { return s.mix.Result(), nil }
+
+type biasShard struct{ bias *analysis.Bias }
+
+func (s *biasShard) Observe(in isa.Inst)           { s.bias.Observe(in) }
+func (s *biasShard) ObserveBatch(batch []isa.Inst) { s.bias.ObserveBatch(batch) }
+func (s *biasShard) Finish() (Result, error)       { return s.bias.Result(), nil }
+
+type fpShard struct {
+	fp     *analysis.Footprint
+	static int64
+}
+
+func (s *fpShard) Observe(in isa.Inst)           { s.fp.Observe(in) }
+func (s *fpShard) ObserveBatch(batch []isa.Inst) { s.fp.ObserveBatch(batch) }
+func (s *fpShard) Finish() (Result, error)       { return s.fp.Result(s.static), nil }
+
+type bblShard struct{ bbl *analysis.BBL }
+
+func (s *bblShard) Observe(in isa.Inst)           { s.bbl.Observe(in) }
+func (s *bblShard) ObserveBatch(batch []isa.Inst) { s.bbl.ObserveBatch(batch) }
+func (s *bblShard) Finish() (Result, error)       { return s.bbl.Result(), nil }

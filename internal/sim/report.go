@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SchemaV1 is the versioned report schema identifier. Any
+// backwards-incompatible change to the report shape must bump it; the
+// golden-file tests exist to make accidental drift fail CI.
+const SchemaV1 = "sim/v1"
+
+// Report is the typed result of one Session.Run: the normalized spec it
+// answered, every shard's result, and the per-{workload, observer-config}
+// merges across seeds.
+type Report struct {
+	Schema string `json:"schema"`
+	// Spec is the normalized spec (seeds expanded, engine defaulted).
+	Spec    *Spec `json:"spec"`
+	Workers int   `json:"workers"`
+	// Shards are in deterministic order: workload-major, then observer
+	// configuration (spec order), then seed.
+	Shards []Shard `json:"shards"`
+	// Merged folds each configuration's shards across seeds, in the same
+	// workload-major order.
+	Merged     []Merged `json:"merged"`
+	TotalInsts int64    `json:"total_insts"`
+	WallNS     int64    `json:"wall_ns"`
+}
+
+// Shard is one {workload, seed, observer-config} measurement.
+type Shard struct {
+	Workload  string
+	Seed      uint64
+	Observer  string
+	Insts     int64
+	ElapsedNS int64
+	Result    Result
+}
+
+// Merged is one observer configuration's result folded across a workload's
+// seeds.
+type Merged struct {
+	Workload string
+	Observer string
+	Seeds    int
+	Result   Result
+}
+
+// shardWire and mergedWire are the JSON shapes; results embed through
+// their canonical EncodeJSON artifact.
+type shardWire struct {
+	Workload  string          `json:"workload"`
+	Seed      uint64          `json:"seed"`
+	Observer  string          `json:"observer"`
+	Insts     int64           `json:"insts"`
+	ElapsedNS int64           `json:"elapsed_ns"`
+	Result    json.RawMessage `json:"result"`
+}
+
+type mergedWire struct {
+	Workload string          `json:"workload"`
+	Observer string          `json:"observer"`
+	Seeds    int             `json:"seeds"`
+	Result   json.RawMessage `json:"result"`
+}
+
+func encodeResult(r Result) (json.RawMessage, error) {
+	if r == nil {
+		return json.RawMessage("null"), nil
+	}
+	enc, err := r.EncodeJSON()
+	if err != nil {
+		return nil, fmt.Errorf("sim: encoding %T: %w", r, err)
+	}
+	return enc, nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (sh Shard) MarshalJSON() ([]byte, error) {
+	res, err := encodeResult(sh.Result)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(shardWire{sh.Workload, sh.Seed, sh.Observer, sh.Insts, sh.ElapsedNS, res})
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m Merged) MarshalJSON() ([]byte, error) {
+	res, err := encodeResult(m.Result)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(mergedWire{m.Workload, m.Observer, m.Seeds, res})
+}

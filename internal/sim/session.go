@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"rebalance/internal/trace"
+	"rebalance/internal/workload"
+)
+
+// Session executes Specs. It is safe for concurrent use: compiled
+// workload programs are built once per session and shared by every run
+// (trace.Compiled is immutable), which is what lets a serving front-end
+// like cmd/simd run many requests against one warm cache.
+type Session struct {
+	workers   int
+	maxShards int
+
+	mu       sync.Mutex
+	compiled map[string]*compileEntry
+}
+
+// compileEntry caches one workload's compilation; the once gate means
+// concurrent runs naming the same workload compile it exactly once while
+// the session lock is held only for map access.
+type compileEntry struct {
+	once sync.Once
+	c    *trace.Compiled
+	err  error
+}
+
+// NewSession returns a session running up to workers shards concurrently;
+// workers < 1 selects GOMAXPROCS.
+func NewSession(workers int) *Session {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Session{workers: workers, compiled: map[string]*compileEntry{}}
+}
+
+// Workers returns the session's shard concurrency.
+func (s *Session) Workers() int { return s.workers }
+
+// SetMaxShards bounds how many {workload x seed x observer-config} shards
+// one Run may expand to (0 = unlimited, the default). Serving front-ends
+// set it so a single request cannot allocate an unbounded grid; the limit
+// is enforced before the grid is built and violations report ErrInvalidSpec.
+func (s *Session) SetMaxShards(n int) { s.maxShards = n }
+
+// Compiled returns the session-cached compiled program for the named
+// workload, building and compiling it on first use.
+func (s *Session) Compiled(name string) (*trace.Compiled, error) {
+	s.mu.Lock()
+	e := s.compiled[name]
+	if e == nil {
+		e = &compileEntry{}
+		s.compiled[name] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		prog, err := workload.Build(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.c, e.err = trace.Compile(prog)
+	})
+	return e.c, e.err
+}
+
+// shardJob is one unit of the {workload x observer-config x seed} grid.
+type shardJob struct {
+	workload string
+	cfg      ObserverConfig
+	seed     uint64
+}
+
+// Run validates and executes the spec, returning the sim/v1 report. Shard
+// order in the report is deterministic (workload-major, then observer
+// configuration, then seed) regardless of scheduling. The context is
+// checked between shards; an already-running shard completes.
+func (s *Session) Run(ctx context.Context, spec *Spec) (*Report, error) {
+	norm, err := spec.normalized(s.maxShards)
+	if err != nil {
+		return nil, err
+	}
+	configs, err := expandObservers(norm.Observers)
+	if err != nil {
+		return nil, err
+	}
+	nShards := len(norm.Workloads) * len(configs) * len(norm.Seeds)
+	if s.maxShards > 0 && nShards > s.maxShards {
+		return nil, fmt.Errorf("%w: %d shards ({%d workloads x %d observer configs x %d seeds}) exceed the session's shard limit %d",
+			ErrInvalidSpec, nShards, len(norm.Workloads), len(configs), len(norm.Seeds), s.maxShards)
+	}
+
+	compiled := make(map[string]*trace.Compiled, len(norm.Workloads))
+	for _, w := range norm.Workloads {
+		c, err := s.Compiled(w)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+		}
+		compiled[w] = c
+	}
+
+	var jobs []shardJob
+	for _, w := range norm.Workloads {
+		for _, cfg := range configs {
+			for _, seed := range norm.Seeds {
+				jobs = append(jobs, shardJob{workload: w, cfg: cfg, seed: seed})
+			}
+		}
+	}
+
+	shards := make([]Shard, len(jobs))
+	errs := make([]error, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	workers := s.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job := &jobs[i]
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				shards[i], errs[i] = runShard(compiled[job.workload], job, norm)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: shard {%s %s seed %d}: %w",
+				jobs[i].workload, jobs[i].cfg.Key(), jobs[i].seed, err)
+		}
+	}
+
+	rep := &Report{
+		Schema:  SchemaV1,
+		Spec:    norm,
+		Workers: workers,
+		Shards:  shards,
+		WallNS:  wall.Nanoseconds(),
+	}
+	for i := range shards {
+		rep.TotalInsts += shards[i].Insts
+	}
+
+	// Merge each configuration's per-seed shards, in seed order, into one
+	// result per {workload, observer-config}. Shards are laid out
+	// seed-minor, so each merge group is a contiguous run.
+	si := 0
+	for _, w := range norm.Workloads {
+		for _, cfg := range configs {
+			acc := cfg.NewResult()
+			for range norm.Seeds {
+				if err := acc.Merge(shards[si].Result); err != nil {
+					return nil, fmt.Errorf("sim: merging %s/%s: %w", w, cfg.Key(), err)
+				}
+				si++
+			}
+			rep.Merged = append(rep.Merged, Merged{
+				Workload: w,
+				Observer: cfg.Key(),
+				Seeds:    len(norm.Seeds),
+				Result:   acc,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// runShard drives one observer configuration over one seeded stream with a
+// fresh executor and a fresh power-on observer instance, so shards are
+// order-independent and the grid is deterministic up to timing fields.
+func runShard(c *trace.Compiled, job *shardJob, spec *Spec) (Shard, error) {
+	obs := job.cfg.NewObserver(c.Program())
+	if cl, ok := obs.(interface{ Close() }); ok {
+		// Release observer-owned goroutines even when the run errors
+		// mid-stream.
+		defer cl.Close()
+	}
+	var e *trace.Executor
+	start := time.Now()
+	var err error
+	if spec.Engine == EngineReference {
+		e = trace.NewExecutor(c.Program(), job.seed)
+		e.Attach(obs)
+		err = e.RunReference(spec.Insts)
+	} else {
+		e = trace.NewCompiledExecutor(c, job.seed)
+		e.Attach(obs)
+		err = e.Run(spec.Insts)
+	}
+	if err != nil {
+		return Shard{}, err
+	}
+	elapsed := time.Since(start)
+	res, err := obs.Finish()
+	if err != nil {
+		return Shard{}, err
+	}
+	return Shard{
+		Workload:  job.workload,
+		Seed:      job.seed,
+		Observer:  job.cfg.Key(),
+		Insts:     e.Emitted(),
+		ElapsedNS: elapsed.Nanoseconds(),
+		Result:    res,
+	}, nil
+}

@@ -1,0 +1,167 @@
+// Package sim is the declarative run layer: a Spec names workloads, seeds,
+// an instruction budget, an engine, and a typed observer set; a Session
+// validates it, compiles each workload once (cached for the session's
+// lifetime), fans {workload x seed x observer-config} shards across a
+// worker pool, and merges the shards into a versioned sim/v1 Report.
+//
+// This is the paper's "one instrumented run, many observers" methodology
+// turned into an API: every entrypoint — cmd/rebalance-bench, cmd/simd,
+// tests, future remote workers — expresses a run as data instead of
+// hand-building shard grids. New scenarios are additions to registries
+// (RegisterObserver here, bpred.RegisterConfig, workload.Register), not
+// new code paths.
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"rebalance/internal/program"
+	"rebalance/internal/registry"
+	"rebalance/internal/trace"
+)
+
+// Result is one observer configuration's measurement over an instruction
+// stream. The concrete types live with their simulators — bpred.Result,
+// btb.Result, icache.Result, and the analysis package's Mix/Bias/
+// Footprint/BBL results all implement it — so a result merges and encodes
+// the same way whether it came from a local shard, a test, or (later) a
+// remote worker.
+type Result interface {
+	// Merge folds another shard's result of the same concrete type and
+	// configuration into the receiver. The parameter is typed any so
+	// implementations need not import this package.
+	Merge(other any) error
+	// EncodeJSON renders the result as its canonical JSON artifact.
+	EncodeJSON() ([]byte, error)
+}
+
+// ShardObserver is a fresh per-shard observer instance: it watches one
+// seeded stream and then seals its measurement into a Result. Instances
+// that additionally implement interface{ Close() } (e.g. a parallelized
+// bpred.Sim owning worker goroutines) are closed by the Session via defer,
+// so goroutines are released even when a run errors mid-stream.
+type ShardObserver interface {
+	trace.Observer
+	// Finish seals the observation (e.g. retiring resident cache lines)
+	// and returns the shard's result.
+	Finish() (Result, error)
+}
+
+// ObserverConfig is one expanded observer configuration — one axis value of
+// the {workload x seed x observer-config} shard grid.
+type ObserverConfig interface {
+	// Key uniquely identifies the configuration within a report, e.g.
+	// "bpred/gshare-big" or "btb/512x4".
+	Key() string
+	// NewObserver returns a fresh power-on instance for one shard of prog.
+	NewObserver(prog *program.Program) ShardObserver
+	// NewResult returns an empty accumulator the Session merges the
+	// configuration's per-seed shard results into.
+	NewResult() Result
+}
+
+// ObserverFactory expands one ObserverSpec's options into concrete
+// configurations. A nil/absent options payload must select a sensible
+// default set (e.g. every registered predictor, the standard geometries).
+type ObserverFactory func(opts json.RawMessage) ([]ObserverConfig, error)
+
+var obsRegistry = registry.New[ObserverFactory]("observer kind")
+
+// RegisterObserver adds an observer kind to the registry, making it
+// nameable from any Spec. Registering an empty or duplicate kind panics:
+// registration happens at init time and a collision is a programming error.
+func RegisterObserver(kind string, factory ObserverFactory) {
+	if factory == nil {
+		panic("sim: RegisterObserver with nil factory")
+	}
+	obsRegistry.Register(kind, factory)
+}
+
+// ObserverKinds returns the registered observer kinds, sorted.
+func ObserverKinds() []string {
+	out := obsRegistry.Names()
+	sort.Strings(out)
+	return out
+}
+
+// expandObservers resolves every ObserverSpec through the registry and
+// checks the resulting configuration keys are unique.
+func expandObservers(specs []ObserverSpec) ([]ObserverConfig, error) {
+	var out []ObserverConfig
+	seen := map[string]bool{}
+	for _, os := range specs {
+		f, ok := obsRegistry.Lookup(os.Kind)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown observer kind %q (have %v)", ErrInvalidSpec, os.Kind, ObserverKinds())
+		}
+		cfgs, err := f(os.Options)
+		if err != nil {
+			return nil, fmt.Errorf("%w: observer %q: %v", ErrInvalidSpec, os.Kind, err)
+		}
+		for _, c := range cfgs {
+			if seen[c.Key()] {
+				return nil, fmt.Errorf("%w: duplicate observer configuration %q", ErrInvalidSpec, c.Key())
+			}
+			seen[c.Key()] = true
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// GroupResult is an ordered set of results measured by one grouped
+// observer in a single pass over the stream (e.g. a multi-predictor
+// bpred.Sim). It merges element-wise and encodes as a JSON array.
+type GroupResult struct {
+	Results []Result
+}
+
+// Merge implements Result.
+func (g *GroupResult) Merge(other any) error {
+	o, ok := other.(*GroupResult)
+	if !ok {
+		return fmt.Errorf("sim: cannot merge %T into *sim.GroupResult", other)
+	}
+	if len(g.Results) != len(o.Results) {
+		return fmt.Errorf("sim: merging group results of different sizes (%d vs %d)", len(o.Results), len(g.Results))
+	}
+	for i := range g.Results {
+		if err := g.Results[i].Merge(o.Results[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeJSON implements Result.
+func (g *GroupResult) EncodeJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, r := range g.Results {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		enc, err := r.EncodeJSON()
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(enc)
+	}
+	buf.WriteByte(']')
+	return buf.Bytes(), nil
+}
+
+// strictDecode unmarshals opts into v, rejecting unknown fields so typos in
+// a Spec's observer options fail loudly instead of silently selecting
+// defaults. Nil or empty options leave v at its zero value.
+func strictDecode(opts json.RawMessage, v any) error {
+	if len(opts) == 0 || bytes.Equal(bytes.TrimSpace(opts), []byte("null")) {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(opts))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

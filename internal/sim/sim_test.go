@@ -1,0 +1,443 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rebalance/internal/isa"
+	"rebalance/internal/program"
+	"rebalance/internal/trace"
+	"rebalance/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fullObserverSpecs is one of every observer kind, with small fixed
+// configurations so tests stay fast.
+func fullObserverSpecs() []ObserverSpec {
+	return []ObserverSpec{
+		{Kind: "bpred", Options: json.RawMessage(`{"configs":["gshare-small","tage-small"]}`)},
+		{Kind: "btb", Options: json.RawMessage(`{"geometries":[{"entries":512,"ways":4}]}`)},
+		{Kind: "icache", Options: json.RawMessage(`{"geometries":[{"size_kb":16,"line_bytes":64,"ways":4}]}`)},
+		{Kind: "branch-mix"},
+		{Kind: "bias"},
+		{Kind: "footprint"},
+		{Kind: "bbl"},
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Workloads: []string{"comd-lite"},
+			SeedCount: 1,
+			Insts:     1000,
+			Observers: []ObserverSpec{{Kind: "branch-mix"}},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no workloads", func(s *Spec) { s.Workloads = nil }, "no workloads"},
+		{"empty workload", func(s *Spec) { s.Workloads = []string{""} }, "empty workload"},
+		{"duplicate workload", func(s *Spec) { s.Workloads = []string{"comd-lite", "comd-lite"} }, "duplicate workload"},
+		{"unknown workload", func(s *Spec) { s.Workloads = []string{"no-such"} }, "unknown workload"},
+		{"both seeds", func(s *Spec) { s.Seeds = []uint64{1} }, "not both"},
+		{"duplicate seed", func(s *Spec) { s.SeedCount = 0; s.Seeds = []uint64{3, 3} }, "duplicate seed"},
+		{"zero insts", func(s *Spec) { s.Insts = 0 }, "instruction budget"},
+		{"bad engine", func(s *Spec) { s.Engine = "warp" }, "unknown engine"},
+		{"no observers", func(s *Spec) { s.Observers = nil }, "no observers"},
+		{"unknown kind", func(s *Spec) { s.Observers = []ObserverSpec{{Kind: "no-such"}} }, "unknown observer kind"},
+		{"unknown predictor", func(s *Spec) {
+			s.Observers = []ObserverSpec{{Kind: "bpred", Options: json.RawMessage(`{"configs":["no-such"]}`)}}
+		}, "unknown predictor"},
+		{"bad option field", func(s *Spec) {
+			s.Observers = []ObserverSpec{{Kind: "bpred", Options: json.RawMessage(`{"cfgs":["gshare-small"]}`)}}
+		}, "unknown field"},
+		{"bad btb geometry", func(s *Spec) {
+			s.Observers = []ObserverSpec{{Kind: "btb", Options: json.RawMessage(`{"geometries":[{"entries":100,"ways":3}]}`)}}
+		}, "invalid geometry"},
+		{"duplicate config", func(s *Spec) {
+			s.Observers = []ObserverSpec{{Kind: "branch-mix"}, {Kind: "branch-mix"}}
+		}, "duplicate observer"},
+	}
+	sess := NewSession(1)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base()
+			tc.mut(spec)
+			_, err := sess.Run(context.Background(), spec)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestSessionRun checks the full grid shape and that per-shard results are
+// deterministic across repeated runs on one cached session.
+func TestSessionRun(t *testing.T) {
+	sess := NewSession(4)
+	spec := &Spec{
+		Workloads: []string{"comd-lite", "xalan-lite"},
+		SeedCount: 2,
+		Insts:     30_000,
+		Observers: fullObserverSpecs(),
+	}
+	rep, err := sess.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 workloads x 2 seeds x 8 configs (2 bpred + 1 btb + 1 icache + 4
+	// analysis).
+	if want := 2 * 2 * 8; len(rep.Shards) != want {
+		t.Fatalf("got %d shards, want %d", len(rep.Shards), want)
+	}
+	if want := 2 * 8; len(rep.Merged) != want {
+		t.Fatalf("got %d merged entries, want %d", len(rep.Merged), want)
+	}
+	if rep.Schema != SchemaV1 {
+		t.Fatalf("schema %q, want %q", rep.Schema, SchemaV1)
+	}
+	for i := range rep.Shards {
+		if rep.Shards[i].Insts < spec.Insts {
+			t.Errorf("shard %d emitted %d < budget %d", i, rep.Shards[i].Insts, spec.Insts)
+		}
+	}
+
+	again, err := sess.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Shards {
+		a, err1 := rep.Shards[i].Result.EncodeJSON()
+		b, err2 := again.Shards[i].Result.EncodeJSON()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if string(a) != string(b) {
+			t.Errorf("shard %s/%s/%d not deterministic across runs",
+				rep.Shards[i].Workload, rep.Shards[i].Observer, rep.Shards[i].Seed)
+		}
+	}
+}
+
+// TestSessionCompiledCache checks one compilation is shared by every run.
+func TestSessionCompiledCache(t *testing.T) {
+	sess := NewSession(2)
+	a, err := sess.Compiled("comd-lite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.Compiled("comd-lite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("session recompiled a cached workload")
+	}
+	if _, err := sess.Compiled("no-such"); err == nil {
+		t.Error("unknown workload compiled without error")
+	}
+}
+
+// TestEngineEquivalence checks the reference engine produces byte-identical
+// observer results to the compiled engine through the Session API.
+func TestEngineEquivalence(t *testing.T) {
+	sess := NewSession(2)
+	mk := func(engine string) *Report {
+		rep, err := sess.Run(context.Background(), &Spec{
+			Workloads: []string{"xalan-lite"},
+			Seeds:     []uint64{7},
+			Insts:     40_000,
+			Engine:    engine,
+			Observers: fullObserverSpecs(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	comp, ref := mk(EngineCompiled), mk(EngineReference)
+	for i := range comp.Shards {
+		a, _ := comp.Shards[i].Result.EncodeJSON()
+		b, _ := ref.Shards[i].Result.EncodeJSON()
+		if string(a) != string(b) {
+			t.Errorf("%s: engines disagree:\ncompiled:  %s\nreference: %s",
+				comp.Shards[i].Observer, a, b)
+		}
+	}
+}
+
+// TestGroupedParallelEquivalence checks that the grouped observer (one
+// multi-predictor pass, optionally parallelized) produces the same
+// counters as per-config shards.
+func TestGroupedParallelEquivalence(t *testing.T) {
+	sess := NewSession(2)
+	run := func(opts string) *Report {
+		rep, err := sess.Run(context.Background(), &Spec{
+			Workloads: []string{"comd-lite"},
+			Seeds:     []uint64{3},
+			Insts:     40_000,
+			Observers: []ObserverSpec{{Kind: "bpred", Options: json.RawMessage(opts)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	split := run(`{"configs":["gshare-small","tage-small","L-tournament-small"]}`)
+	grouped := run(`{"configs":["gshare-small","tage-small","L-tournament-small"],"grouped":true}`)
+	parallel := run(`{"configs":["gshare-small","tage-small","L-tournament-small"],"parallel":true}`)
+
+	for gi, rep := range []*Report{grouped, parallel} {
+		if len(rep.Shards) != 1 {
+			t.Fatalf("grouped run %d: got %d shards, want 1", gi, len(rep.Shards))
+		}
+		group, ok := rep.Shards[0].Result.(*GroupResult)
+		if !ok {
+			t.Fatalf("grouped run %d: result is %T", gi, rep.Shards[0].Result)
+		}
+		if len(group.Results) != len(split.Shards) {
+			t.Fatalf("grouped run %d: %d members, want %d", gi, len(group.Results), len(split.Shards))
+		}
+		for i := range group.Results {
+			a, _ := group.Results[i].EncodeJSON()
+			b, _ := split.Shards[i].Result.EncodeJSON()
+			if string(a) != string(b) {
+				t.Errorf("grouped run %d, member %d: differs from per-config shard:\n%s\n%s", gi, i, a, b)
+			}
+		}
+	}
+}
+
+// registerRecursive registers (once) a workload whose model recurses, so
+// the executor fails mid-stream with a call-depth error — the scenario the
+// Session's deferred observer Close exists for.
+var registerRecursive = sync.OnceFunc(func() {
+	workload.Register("sim-test-recursive", func() (*program.Program, int) {
+		rec := &program.Func{Name: "rec", Ret: &program.Branch{Size: 1, Kind: isa.KindReturn}}
+		rec.Body = &program.Seq{Nodes: []program.Node{
+			&program.Straight{Block: program.NewBlock([]uint8{4, 4, 4})},
+			&program.Call{Site: &program.Branch{Size: 5}, Callee: rec},
+		}}
+		return &program.Program{
+			Name:  "sim-test-recursive",
+			Funcs: []*program.Func{rec},
+			Regions: []*program.Region{{
+				Name:   "main",
+				Serial: true,
+				Weight: 1,
+				Body: &program.Seq{Nodes: []program.Node{
+					&program.Straight{Block: program.NewBlock([]uint8{4})},
+					&program.Call{Site: &program.Branch{Size: 5}, Callee: rec},
+				}},
+			}},
+		}, 0
+	})
+})
+
+// TestParallelSimClosedOnRunError checks the satellite contract: when a
+// run errors mid-stream, the Session still closes the parallelized
+// predictor simulation, so its worker goroutines do not leak.
+func TestParallelSimClosedOnRunError(t *testing.T) {
+	registerRecursive()
+	sess := NewSession(1)
+	before := runtime.NumGoroutine()
+	_, err := sess.Run(context.Background(), &Spec{
+		Workloads: []string{"sim-test-recursive"},
+		Seeds:     []uint64{1},
+		Insts:     1_000_000,
+		Observers: []ObserverSpec{{Kind: "bpred", Options: json.RawMessage(`{"parallel":true}`)}},
+	})
+	if err == nil {
+		t.Fatal("recursive workload ran without error")
+	}
+	if !strings.Contains(err.Error(), "call depth") {
+		t.Fatalf("want call-depth error, got: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked after errored run: %d before, %d after", before, n)
+	}
+}
+
+// TestBatchSizeInvariance is the satellite coverage: every observer kind's
+// result must be bit-identical across batch sizes 1, 7, and 4096, and
+// match the per-instruction reference engine. Batch boundaries are an
+// engine implementation detail; any drift is a correctness bug.
+func TestBatchSizeInvariance(t *testing.T) {
+	specs := []ObserverSpec{
+		{Kind: "bpred", Options: json.RawMessage(`{"configs":["gshare-small","tage-small","L-tournament-small"],"grouped":true}`)},
+		{Kind: "btb", Options: json.RawMessage(`{"geometries":[{"entries":256,"ways":2}]}`)},
+		{Kind: "icache", Options: json.RawMessage(`{"geometries":[{"size_kb":8,"line_bytes":64,"ways":2}]}`)},
+		{Kind: "branch-mix"},
+		{Kind: "bias"},
+		{Kind: "footprint"},
+		{Kind: "bbl"},
+	}
+	const insts = 120_000
+	for _, name := range []string{"comd-lite", "xalan-lite"} {
+		prog, err := workload.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := trace.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// collect runs every observer config in one pass with the given
+		// batch size (0 = reference engine) and returns key -> encoded
+		// result.
+		collect := func(batchSize int) map[string]string {
+			cfgs, err := expandObservers(specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := trace.NewCompiledExecutor(c, 17)
+			if batchSize > 0 {
+				e.SetBatchSize(batchSize)
+			}
+			obs := make([]ShardObserver, len(cfgs))
+			for i, cfg := range cfgs {
+				obs[i] = cfg.NewObserver(prog)
+				e.Attach(obs[i])
+			}
+			if batchSize > 0 {
+				err = e.Run(insts)
+			} else {
+				err = e.RunReference(insts)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := map[string]string{}
+			for i, cfg := range cfgs {
+				res, err := obs[i].Finish()
+				if err != nil {
+					t.Fatal(err)
+				}
+				enc, err := res.EncodeJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[cfg.Key()] = string(enc)
+			}
+			return out
+		}
+
+		want := collect(0) // reference engine: batch-free ground truth
+		for _, bs := range []int{1, 7, trace.BatchSize} {
+			got := collect(bs)
+			for key, w := range want {
+				if got[key] != w {
+					t.Errorf("%s: %s: batch size %d drifts from reference:\n got: %s\nwant: %s",
+						name, key, bs, got[key], w)
+				}
+			}
+		}
+	}
+}
+
+// TestReportGolden pins the sim/v1 JSON schema: any drift in the report
+// shape or in observer encodings fails CI instead of silently corrupting
+// downstream consumers. Regenerate with -update after a deliberate,
+// versioned change.
+func TestReportGolden(t *testing.T) {
+	sess := NewSession(2)
+	rep, err := sess.Run(context.Background(), &Spec{
+		Workloads: []string{"comd-lite", "xalan-lite"},
+		Seeds:     []uint64{1, 2},
+		Insts:     40_000,
+		Observers: fullObserverSpecs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero the timing fields; everything else is deterministic.
+	rep.WallNS = 0
+	rep.Workers = 0
+	for i := range rep.Shards {
+		rep.Shards[i].ElapsedNS = 0
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "report_v1.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/sim -run TestReportGolden -update` to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("sim/v1 report drifted from golden file %s;\nif the change is deliberate, bump/review the schema and regenerate with -update.\ngot:\n%s", golden, got)
+	}
+}
+
+// TestConcurrentRuns drives one session from several goroutines, the way
+// simd does, and checks results stay deterministic.
+func TestConcurrentRuns(t *testing.T) {
+	sess := NewSession(2)
+	spec := func() *Spec {
+		return &Spec{
+			Workloads: []string{"comd-lite"},
+			Seeds:     []uint64{5},
+			Insts:     20_000,
+			Observers: []ObserverSpec{{Kind: "bpred", Options: json.RawMessage(`{"configs":["gshare-small"]}`)}},
+		}
+	}
+	const n = 4
+	encoded := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := sess.Run(context.Background(), spec())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			enc, err := rep.Shards[0].Result.EncodeJSON()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			encoded[i] = string(enc)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if encoded[i] != encoded[0] {
+			t.Errorf("concurrent run %d diverged", i)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidSpec wraps every validation failure so servers can map bad
+// requests to 400s while genuine execution failures stay 500s.
+var ErrInvalidSpec = errors.New("sim: invalid spec")
+
+// Engine names for Spec.Engine.
+const (
+	// EngineCompiled is the production flat threaded-code engine with
+	// batched observation (trace.Executor.Run).
+	EngineCompiled = "compiled"
+	// EngineReference is the retained tree-walk engine with
+	// per-instruction observation (trace.Executor.RunReference).
+	EngineReference = "reference"
+)
+
+// Spec declaratively describes one run: which workload streams to emit,
+// with which seeds and instruction budget, on which engine, watched by
+// which observer configurations. Every name resolves through a registry
+// (workload.Register, RegisterObserver, bpred.RegisterConfig), so a Spec
+// serialized as JSON is a complete, portable description of an experiment.
+type Spec struct {
+	// Workloads names the workload models to run (workload.Names lists
+	// the registry). Every observer configuration runs over every
+	// workload.
+	Workloads []string `json:"workloads"`
+	// Seeds are the explicit per-stream seeds. Leave empty and set
+	// SeedCount to use seeds 1..SeedCount.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// SeedCount expands to Seeds 1..SeedCount when Seeds is empty.
+	SeedCount int `json:"seed_count,omitempty"`
+	// Insts is the dynamic instruction budget per shard. Emission stops
+	// at the first region boundary past the budget (see trace.Run), so
+	// shards overshoot by at most one region.
+	Insts int64 `json:"insts"`
+	// Engine selects the execution engine: EngineCompiled (default) or
+	// EngineReference.
+	Engine string `json:"engine,omitempty"`
+	// Observers is the typed observer set; each entry expands through the
+	// observer registry into one or more shard configurations.
+	Observers []ObserverSpec `json:"observers"`
+}
+
+// ObserverSpec names one observer kind with its kind-specific options (for
+// example predictor config names for "bpred", geometries for "btb" and
+// "icache"). Nil options select the kind's default configuration set.
+type ObserverSpec struct {
+	Kind    string          `json:"kind"`
+	Options json.RawMessage `json:"options,omitempty"`
+}
+
+// normalized validates the spec and returns a canonical copy: seeds
+// expanded, engine defaulted. The copy is what a Report echoes back.
+// maxSeeds > 0 bounds the seed list (checked before expansion, so an
+// absurd seed_count cannot allocate first and fail later).
+func (s *Spec) normalized(maxSeeds int) (*Spec, error) {
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil spec", ErrInvalidSpec)
+	}
+	out := &Spec{
+		Workloads: append([]string(nil), s.Workloads...),
+		Seeds:     append([]uint64(nil), s.Seeds...),
+		Insts:     s.Insts,
+		Engine:    s.Engine,
+		Observers: append([]ObserverSpec(nil), s.Observers...),
+	}
+	if len(out.Workloads) == 0 {
+		return nil, fmt.Errorf("%w: no workloads", ErrInvalidSpec)
+	}
+	seenW := map[string]bool{}
+	for _, w := range out.Workloads {
+		if w == "" {
+			return nil, fmt.Errorf("%w: empty workload name", ErrInvalidSpec)
+		}
+		if seenW[w] {
+			return nil, fmt.Errorf("%w: duplicate workload %q", ErrInvalidSpec, w)
+		}
+		seenW[w] = true
+	}
+	if len(out.Seeds) == 0 {
+		n := s.SeedCount
+		if n == 0 {
+			n = 1
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("%w: negative seed_count %d", ErrInvalidSpec, n)
+		}
+		if maxSeeds > 0 && n > maxSeeds {
+			return nil, fmt.Errorf("%w: seed_count %d exceeds the session's shard limit %d", ErrInvalidSpec, n, maxSeeds)
+		}
+		for i := 1; i <= n; i++ {
+			out.Seeds = append(out.Seeds, uint64(i))
+		}
+	} else if s.SeedCount != 0 {
+		return nil, fmt.Errorf("%w: set either seeds or seed_count, not both", ErrInvalidSpec)
+	}
+	if maxSeeds > 0 && len(out.Seeds) > maxSeeds {
+		return nil, fmt.Errorf("%w: %d seeds exceed the session's shard limit %d", ErrInvalidSpec, len(out.Seeds), maxSeeds)
+	}
+	seenS := map[uint64]bool{}
+	for _, sd := range out.Seeds {
+		if seenS[sd] {
+			return nil, fmt.Errorf("%w: duplicate seed %d", ErrInvalidSpec, sd)
+		}
+		seenS[sd] = true
+	}
+	if out.Insts < 1 {
+		return nil, fmt.Errorf("%w: non-positive instruction budget %d", ErrInvalidSpec, out.Insts)
+	}
+	if out.Engine == "" {
+		out.Engine = EngineCompiled
+	}
+	if out.Engine != EngineCompiled && out.Engine != EngineReference {
+		return nil, fmt.Errorf("%w: unknown engine %q (have %q, %q)", ErrInvalidSpec, out.Engine, EngineCompiled, EngineReference)
+	}
+	if len(out.Observers) == 0 {
+		return nil, fmt.Errorf("%w: no observers", ErrInvalidSpec)
+	}
+	return out, nil
+}

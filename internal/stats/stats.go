@@ -27,6 +27,10 @@ func (m *Mean) AddN(x float64, n int64) { m.n += n; m.sum += x * float64(n) }
 // N returns the number of samples seen.
 func (m *Mean) N() int64 { return m.n }
 
+// Sum returns the running sum of all samples; together with N it lets
+// means from independent shards be merged exactly.
+func (m *Mean) Sum() float64 { return m.sum }
+
 // Value returns the mean, or 0 when no samples were added.
 func (m *Mean) Value() float64 {
 	if m.n == 0 {

@@ -27,25 +27,45 @@ import (
 
 	"rebalance/internal/isa"
 	"rebalance/internal/program"
+	"rebalance/internal/registry"
 	"rebalance/internal/rng"
 )
 
-// Names lists the available workload models in a stable order.
-func Names() []string { return []string{"comd-lite", "xalan-lite"} }
+// Builder synthesizes one workload's program model (pre-layout) and returns
+// it with its librarySplit (see program.Layout). Builders must be
+// deterministic: the same name always produces an identical program.
+type Builder func() (*program.Program, int)
+
+var builders = registry.New[Builder]("workload")
+
+func init() {
+	Register("comd-lite", buildCoMDLite)
+	Register("xalan-lite", buildXalanLite)
+}
+
+// Register adds a named workload model to the registry, making it available
+// to every experiment driver that names workloads as data (the sim Spec,
+// rebalance-bench, simd). Registering an empty or duplicate name panics:
+// registration happens at init time and a collision is a programming error.
+func Register(name string, build Builder) {
+	if build == nil {
+		panic("workload: Register with nil builder")
+	}
+	builders.Register(name, build)
+}
+
+// Names lists the registered workload models in registration order (the
+// built-in profiles first).
+func Names() []string { return builders.Names() }
 
 // Build synthesizes, lays out, and validates the named workload. The same
 // name always produces an identical program.
 func Build(name string) (*program.Program, error) {
-	var p *program.Program
-	var librarySplit int
-	switch name {
-	case "comd-lite":
-		p, librarySplit = buildCoMDLite()
-	case "xalan-lite":
-		p, librarySplit = buildXalanLite()
-	default:
-		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	build, err := builders.Get(name)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
 	}
+	p, librarySplit := build()
 	if err := program.Layout(p, librarySplit); err != nil {
 		return nil, err
 	}
