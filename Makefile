@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt ci bench bench-go bench-sweep
+.PHONY: all build test race fuzz vet fmt ci bench bench-go bench-sweep
 
 all: build
 
@@ -9,6 +9,16 @@ build:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz runs the wire-surface fuzzers for a short budget (CI uses the same
+# targets); FUZZTIME=5m for a longer local session.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzDecodeSpec$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzDecodeShardResult$$' -fuzztime $(FUZZTIME)
 
 vet:
 	$(GO) vet ./...

@@ -5,10 +5,17 @@
 // record consumed for BENCH_*.json trajectory tracking, and measures the
 // compiled engine against the retained tree-walk reference.
 //
+// With -backends the sweep's shard grid is dispatched to remote simd
+// worker processes (started with `simd -worker`) instead of the local
+// pool: shards fan out with bounded in-flight, retry with backoff, and
+// failover, and the merged report is bit-identical (up to timing fields)
+// to the same sweep run locally.
+//
 // Usage:
 //
 //	rebalance-bench [-workloads comd-lite,xalan-lite] [-seeds 4]
 //	                [-insts 2000000] [-workers N] [-calibrate 2000000]
+//	                [-backends http://host1:8080,http://host2:8080]
 //	                [-out report.json]
 package main
 
@@ -25,6 +32,7 @@ import (
 
 	"rebalance/internal/bpred"
 	"rebalance/internal/sim"
+	"rebalance/internal/sim/dispatch"
 	"rebalance/internal/stats"
 	"rebalance/internal/trace"
 	"rebalance/internal/workload"
@@ -96,10 +104,11 @@ func main() {
 		instsFlag     = flag.Int64("insts", 2_000_000, "dynamic instructions per shard")
 		workersFlag   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
 		calibFlag     = flag.Int64("calibrate", 2_000_000, "instructions for the engine calibration run (0 disables)")
+		backendsFlag  = flag.String("backends", "", "comma-separated simd worker URLs; dispatch shards remotely instead of running locally")
 		outFlag       = flag.String("out", "", "write the JSON report to this file (default stdout)")
 	)
 	flag.Parse()
-	if err := run(*workloadsFlag, *seedsFlag, *instsFlag, *workersFlag, *calibFlag, *outFlag); err != nil {
+	if err := run(*workloadsFlag, *seedsFlag, *instsFlag, *workersFlag, *calibFlag, *backendsFlag, *outFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "rebalance-bench:", err)
 		os.Exit(1)
 	}
@@ -125,7 +134,7 @@ func parseWorkloads(csv string) ([]string, error) {
 	return names, nil
 }
 
-func run(workloadsCSV string, seeds int, insts int64, workers int, calibInsts int64, out string) error {
+func run(workloadsCSV string, seeds int, insts int64, workers int, calibInsts int64, backendsCSV, out string) error {
 	if seeds < 1 || insts < 1 || workers < 1 {
 		return fmt.Errorf("seeds, insts, and workers must be positive")
 	}
@@ -137,6 +146,17 @@ func run(workloadsCSV string, seeds int, insts int64, workers int, calibInsts in
 	// The whole sweep is one declarative Spec: the grid of every
 	// registered predictor configuration over every workload and seed.
 	sess := sim.NewSession(workers)
+	if backendsCSV != "" {
+		backends, err := dispatch.ParseBackends(backendsCSV, dispatch.DefaultClient())
+		if err != nil {
+			return err
+		}
+		d, err := dispatch.New(backends, dispatch.Options{MaxInFlight: workers})
+		if err != nil {
+			return err
+		}
+		sess.SetRunner(d)
+	}
 	simRep, err := sess.Run(context.Background(), &sim.Spec{
 		Workloads: names,
 		SeedCount: seeds,

@@ -4,12 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"flag"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"rebalance/internal/sim"
+	"rebalance/internal/sim/dispatch"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -94,6 +96,59 @@ func TestReportGolden(t *testing.T) {
 	}
 	if string(got) != string(want) {
 		t.Errorf("rebalance-bench/v1 report drifted from golden file %s;\nif deliberate, regenerate with -update.\ngot:\n%s", golden, got)
+	}
+}
+
+// TestBackendsDispatchMatchesLocal runs the same small sweep locally and
+// dispatched across two in-process simd workers (-backends path) and
+// checks the reports agree on every deterministic field.
+func TestBackendsDispatchMatchesLocal(t *testing.T) {
+	w1 := httptest.NewServer(dispatch.WorkerHandler(sim.NewSession(1), 0))
+	defer w1.Close()
+	w2 := httptest.NewServer(dispatch.WorkerHandler(sim.NewSession(1), 0))
+	defer w2.Close()
+
+	normalize := func(path string) []byte {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatal(err)
+		}
+		rep.GoVersion = ""
+		rep.GOMAXPROCS = 0
+		rep.Workers = 0
+		rep.WallNS = 0
+		rep.SweepMInstsPS = 0
+		for i := range rep.Shards {
+			rep.Shards[i].ElapsedNS = 0
+			rep.Shards[i].MInstsPerSec = 0
+		}
+		for i := range rep.Aggregates {
+			rep.Aggregates[i].MeanMInstsPS = 0
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	dir := t.TempDir()
+	localOut := filepath.Join(dir, "local.json")
+	remoteOut := filepath.Join(dir, "remote.json")
+	if err := run("comd-lite", 2, 20_000, 2, 0, "", localOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("comd-lite", 2, 20_000, 2, 0, w1.URL+","+w2.URL, remoteOut); err != nil {
+		t.Fatal(err)
+	}
+	local, remote := normalize(localOut), normalize(remoteOut)
+	if string(local) != string(remote) {
+		t.Errorf("dispatched sweep differs from local sweep:\nlocal:\n%s\nremote:\n%s", local, remote)
 	}
 }
 

@@ -4,31 +4,52 @@
 // concurrent runs execute against the same warm cache — the serving shape
 // the ROADMAP's production-scale target builds on.
 //
+// The process is also the worker half of the dispatch layer: POST
+// /v1/shards runs a single shard of an expanded grid and returns its wire
+// record, which a coordinator (another simd, rebalance-bench -backends, or
+// any sim.Session routed through a dispatch.Dispatcher) decodes and folds
+// into the same bit-identical Report an all-local run produces. -worker
+// trims the surface to exactly that role: the run endpoint is withheld so
+// a fleet worker cannot be used as an accidental coordinator.
+//
 // Endpoints:
 //
-//	POST /v1/runs        execute a Spec (JSON body), respond with the report
+//	POST /v1/runs        execute a Spec (JSON body), respond with the report (coordinator mode only)
+//	POST /v1/shards      execute one ShardSpec, respond with the shard record
 //	GET  /v1/workloads   enumerate the workload registry
 //	GET  /v1/predictors  enumerate the predictor-config registry with costs
 //	GET  /v1/observers   enumerate the observer-kind registry
 //	GET  /healthz        liveness probe
 //
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight runs (http.Server.Shutdown) before exiting, so killing a
+// worker never truncates a shard response mid-body — a coordinator either
+// gets a complete record or a connection error it fails over from.
+//
 // Usage:
 //
-//	simd [-addr :8080] [-workers N] [-max-insts 100000000] [-max-shards 4096]
+//	simd [-addr :8080] [-worker] [-workers N] [-max-insts 100000000]
+//	     [-max-shards 4096] [-drain 30s]
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"rebalance/internal/bpred"
 	"rebalance/internal/sim"
+	"rebalance/internal/sim/dispatch"
 	"rebalance/internal/workload"
 )
 
@@ -39,25 +60,68 @@ const maxSpecBytes = 1 << 20
 func main() {
 	var (
 		addrFlag      = flag.String("addr", ":8080", "listen address")
+		workerFlag    = flag.Bool("worker", false, "worker mode: serve only the shard protocol (no /v1/runs)")
 		workersFlag   = flag.Int("workers", runtime.GOMAXPROCS(0), "shard worker goroutines per run")
 		maxInstsFlag  = flag.Int64("max-insts", 100_000_000, "reject specs with a larger per-shard instruction budget (0 = unlimited)")
 		maxShardsFlag = flag.Int("max-shards", 4096, "reject specs expanding to more shards than this (0 = unlimited)")
+		drainFlag     = flag.Duration("drain", 30*time.Second, "in-flight drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	sess := sim.NewSession(*workersFlag)
 	sess.SetMaxShards(*maxShardsFlag)
-	srv := newServer(sess, *maxInstsFlag)
-	log.Printf("simd: listening on %s (%d workers)", *addrFlag, *workersFlag)
-	log.Fatal(http.ListenAndServe(*addrFlag, srv))
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		log.Fatalf("simd: %v", err)
+	}
+	mode := "coordinator"
+	if *workerFlag {
+		mode = "worker"
+	}
+	log.Printf("simd: %s listening on %s (%d workers)", mode, ln.Addr(), *workersFlag)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Handler: newServer(sess, *maxInstsFlag, *workerFlag)}
+	if err := serve(ctx, srv, ln, *drainFlag); err != nil {
+		log.Fatalf("simd: %v", err)
+	}
+	log.Printf("simd: drained, exiting")
 }
 
-// newServer builds the simd handler around a shared session. Split from
-// main so tests drive it through httptest.
-func newServer(sess *sim.Session, maxInsts int64) http.Handler {
+// serve runs srv on ln until ctx is cancelled (a shutdown signal), then
+// drains in-flight requests via http.Server.Shutdown, bounded by the
+// drain budget. Split from main so the shutdown path has an httptest-style
+// regression test.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Serve never returns nil; reaching here means the listener broke
+		// before any shutdown signal.
+		return err
+	case <-ctx.Done():
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		return fmt.Errorf("draining: %w", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed by now
+	return nil
+}
+
+// newServer builds the simd handler around a shared session. worker mode
+// withholds the coordinator run endpoint and serves only the shard
+// protocol plus the registry listings. Split from main so tests drive it
+// through httptest.
+func newServer(sess *sim.Session, maxInsts int64, worker bool) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
-		handleRun(w, r, sess, maxInsts)
-	})
+	if !worker {
+		mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+			handleRun(w, r, sess, maxInsts)
+		})
+	}
+	mux.Handle("POST "+dispatch.ShardsPath, dispatch.WorkerHandler(sess, maxInsts))
 	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"workloads": workload.Names()})
 	})

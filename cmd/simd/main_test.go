@@ -1,11 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"rebalance/internal/sim"
 )
@@ -14,7 +19,7 @@ func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	sess := sim.NewSession(2)
 	sess.SetMaxShards(256)
-	srv := httptest.NewServer(newServer(sess, 1_000_000))
+	srv := httptest.NewServer(newServer(sess, 1_000_000, false))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -146,6 +151,153 @@ func TestRunRoundTrip(t *testing.T) {
 		if len(sh.Result) == 0 || string(sh.Result) == "null" {
 			t.Errorf("shard %s/%s has empty result", sh.Workload, sh.Observer)
 		}
+	}
+}
+
+// TestWorkerMode checks the trimmed -worker surface: the shard protocol
+// and registry listings are served, the coordinator run endpoint is not.
+func TestWorkerMode(t *testing.T) {
+	sess := sim.NewSession(2)
+	srv := httptest.NewServer(newServer(sess, 1_000_000, true))
+	defer srv.Close()
+
+	shard := `{
+		"workload": "comd-lite", "seed": 3, "insts": 20000,
+		"observer": {"kind": "bpred", "options": {"configs": ["gshare-small"]}}
+	}`
+	resp, err := http.Post(srv.URL+"/v1/shards", "application/json", strings.NewReader(shard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/shards: status %d", resp.StatusCode)
+	}
+	var rec struct {
+		Workload string          `json:"workload"`
+		Seed     uint64          `json:"seed"`
+		Observer string          `json:"observer"`
+		Insts    int64           `json:"insts"`
+		Result   json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Workload != "comd-lite" || rec.Seed != 3 || rec.Observer != "bpred/gshare-small" {
+		t.Errorf("shard record identity %+v", rec)
+	}
+	if rec.Insts < 20000 || len(rec.Result) == 0 {
+		t.Errorf("shard record incomplete: insts=%d, %d result bytes", rec.Insts, len(rec.Result))
+	}
+
+	// Invalid shard specs are 400s the dispatcher will not retry.
+	for _, bad := range []string{
+		`{"workload": "no-such", "seed": 1, "insts": 1000, "observer": {"kind": "bbl"}}`,
+		`{"workload": "comd-lite", "seed": 1, "insts": 1000, "observer": {"kind": "bpred"}}`,  // expands to 9 configs
+		`{"workload": "comd-lite", "seed": 1, "insts": 5000000, "observer": {"kind": "bbl"}}`, // over -max-insts
+		`{`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/shards", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad shard %s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// The coordinator endpoint is withheld in worker mode.
+	resp, err = http.Post(srv.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"workloads":["comd-lite"],"insts":1000,"observers":[{"kind":"bbl"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("worker mode served /v1/runs")
+	}
+}
+
+// TestGracefulShutdown is the satellite regression test: once the signal
+// context fires, serve must drain the in-flight run to a complete 200
+// response, stop accepting new connections, and return.
+func TestGracefulShutdown(t *testing.T) {
+	sess := sim.NewSession(1)
+	inner := newServer(sess, 0, false)
+	started := make(chan struct{})
+	var once sync.Once
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/runs" {
+			once.Do(func() { close(started) })
+		}
+		inner.ServeHTTP(w, r)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := &http.Server{Handler: handler}
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, srv, ln, 30*time.Second) }()
+
+	// A run long enough to still be in flight when shutdown starts.
+	spec := `{"workloads": ["comd-lite"], "seed_count": 1, "insts": 8000000,
+		"observers": [{"kind": "bpred", "options": {"configs": ["gshare-small"]}}]}`
+	type postResult struct {
+		status int
+		body   []byte
+		err    error
+	}
+	posted := make(chan postResult, 1)
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/runs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			posted <- postResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			posted <- postResult{err: err}
+			return
+		}
+		posted <- postResult{status: resp.StatusCode, body: body}
+	}()
+
+	// Trigger shutdown only once the run is definitely in flight.
+	<-started
+	cancel()
+
+	res := <-posted
+	if res.err != nil {
+		t.Fatalf("in-flight run was not drained: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight run: status %d, body %s", res.status, res.body)
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(res.body, &rep); err != nil || rep.Schema != sim.SchemaV1 {
+		t.Fatalf("drained response is not a complete report: %v (schema %q)", err, rep.Schema)
+	}
+
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+
+	// The listener is closed: new connections must fail.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"rebalance/internal/isa"
 	"rebalance/internal/stats"
+	"rebalance/internal/wire"
 )
 
 // BBL reproduces the Figure 4 pintool: the average dynamic basic-block
@@ -149,13 +150,31 @@ func avgOver(sum [2]float64, n [2]int64, idx []int) float64 {
 	return s / float64(c)
 }
 
-// EncodeJSON renders the Figure 4 artifact per aggregation phase.
+// bblWire is the canonical JSON shape of a BBLResult: the Figure 4
+// artifact plus the raw sums behind it, so DecodeBBLResult rebuilds an
+// identical result. The sums are integer-valued (block bytes and gaps are
+// whole bytes), so they survive the JSON float round-trip exactly.
+type bblWire struct {
+	Blocks        [NumPhases]int64   `json:"blocks"`
+	AvgBlockB     [NumPhases]float64 `json:"avg_block_bytes"`
+	AvgTakenDistB [NumPhases]float64 `json:"avg_taken_dist_bytes"`
+	Counters      bblCounters        `json:"counters"`
+}
+
+// bblCounters are the raw [serial, parallel] accumulators behind the
+// artifact.
+type bblCounters struct {
+	BlockSum [2]float64 `json:"block_sum"`
+	BlockN   [2]int64   `json:"block_n"`
+	GapSum   [2]float64 `json:"gap_sum"`
+	GapN     [2]int64   `json:"gap_n"`
+}
+
+// EncodeJSON renders the Figure 4 artifact per aggregation phase, plus the
+// raw counters remote coordinators decode and merge.
 func (r *BBLResult) EncodeJSON() ([]byte, error) {
-	var out struct {
-		Blocks        [NumPhases]int64   `json:"blocks"`
-		AvgBlockB     [NumPhases]float64 `json:"avg_block_bytes"`
-		AvgTakenDistB [NumPhases]float64 `json:"avg_taken_dist_bytes"`
-	}
+	var out bblWire
+	out.Counters = bblCounters{BlockSum: r.BlockSum, BlockN: r.BlockN, GapSum: r.GapSum, GapN: r.GapN}
 	for pi, p := range Phases {
 		idx := phaseRange(p)
 		for _, i := range idx {
@@ -165,4 +184,20 @@ func (r *BBLResult) EncodeJSON() ([]byte, error) {
 		out.AvgTakenDistB[pi] = avgOver(r.GapSum, r.GapN, idx)
 	}
 	return json.Marshal(&out)
+}
+
+// DecodeBBLResult parses a BBLResult from its canonical JSON artifact.
+// Unknown fields are rejected; derived averages are recomputed from the
+// raw sums on re-encode.
+func DecodeBBLResult(data []byte) (*BBLResult, error) {
+	var w bblWire
+	if err := wire.StrictUnmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("analysis: decoding bbl result: %w", err)
+	}
+	return &BBLResult{
+		BlockSum: w.Counters.BlockSum,
+		BlockN:   w.Counters.BlockN,
+		GapSum:   w.Counters.GapSum,
+		GapN:     w.Counters.GapN,
+	}, nil
 }

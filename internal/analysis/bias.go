@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"sort"
+
 	"rebalance/internal/isa"
 	"rebalance/internal/stats"
+	"rebalance/internal/wire"
 )
 
 // Bias reproduces the Figure 2 / Table I pintool: for every conditional
@@ -243,16 +246,47 @@ func (r *BiasResult) histogram(idx []int) *stats.Histogram {
 	return h
 }
 
-// EncodeJSON renders the Figure 2 + Table I artifact per aggregation phase.
+// biasWire is the canonical JSON shape of a BiasResult: the Figure 2 +
+// Table I artifact plus the raw per-site counters behind it, so
+// DecodeBiasResult rebuilds an identical result. Sites are sorted by PC
+// so the encoding is deterministic regardless of map iteration order.
+type biasWire struct {
+	Sites       int                    `json:"sites"`
+	Buckets     [NumPhases][10]float64 `json:"buckets_pct"`
+	BiasedPct   [NumPhases]float64     `json:"biased_pct"`
+	BackwardPct [NumPhases]float64     `json:"backward_pct"`
+	ForwardPct  [NumPhases]float64     `json:"forward_pct"`
+	TakenPct    [NumPhases]float64     `json:"taken_pct"`
+	Counters    biasCounters           `json:"counters"`
+}
+
+// biasCounters are the raw [serial, parallel] counters behind the artifact.
+type biasCounters struct {
+	Sites []siteWire                  `json:"sites"`
+	Dirs  [2][isa.NumDirections]int64 `json:"dirs"`
+	Conds [2]int64                    `json:"conds"`
+}
+
+// siteWire is one branch site's direction counters, keyed by code address.
+type siteWire struct {
+	PC    uint64   `json:"pc"`
+	Exec  [2]int64 `json:"exec"`
+	Taken [2]int64 `json:"taken"`
+}
+
+// EncodeJSON renders the Figure 2 + Table I artifact per aggregation
+// phase, plus the raw counters remote coordinators decode and merge.
 func (r *BiasResult) EncodeJSON() ([]byte, error) {
-	var out struct {
-		Sites       int                    `json:"sites"`
-		Buckets     [NumPhases][10]float64 `json:"buckets_pct"`
-		BiasedPct   [NumPhases]float64     `json:"biased_pct"`
-		BackwardPct [NumPhases]float64     `json:"backward_pct"`
-		ForwardPct  [NumPhases]float64     `json:"forward_pct"`
-		TakenPct    [NumPhases]float64     `json:"taken_pct"`
+	var out biasWire
+	out.Counters.Dirs = r.Dirs
+	out.Counters.Conds = r.Conds
+	out.Counters.Sites = make([]siteWire, 0, len(r.Sites))
+	for pc, s := range r.Sites {
+		out.Counters.Sites = append(out.Counters.Sites, siteWire{PC: uint64(pc), Exec: s.Exec, Taken: s.Taken})
 	}
+	sort.Slice(out.Counters.Sites, func(i, j int) bool {
+		return out.Counters.Sites[i].PC < out.Counters.Sites[j].PC
+	})
 	out.Sites = len(r.Sites)
 	for pi, p := range Phases {
 		idx := phaseRange(p)
@@ -276,4 +310,27 @@ func (r *BiasResult) EncodeJSON() ([]byte, error) {
 		}
 	}
 	return json.Marshal(&out)
+}
+
+// DecodeBiasResult parses a BiasResult from its canonical JSON artifact.
+// Unknown fields are rejected; a duplicated site PC means the artifact was
+// not produced by EncodeJSON and is an error.
+func DecodeBiasResult(data []byte) (*BiasResult, error) {
+	var w biasWire
+	if err := wire.StrictUnmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("analysis: decoding bias result: %w", err)
+	}
+	r := &BiasResult{
+		Sites: make(map[isa.Addr]SiteBias, len(w.Counters.Sites)),
+		Dirs:  w.Counters.Dirs,
+		Conds: w.Counters.Conds,
+	}
+	for _, s := range w.Counters.Sites {
+		pc := isa.Addr(s.PC)
+		if _, dup := r.Sites[pc]; dup {
+			return nil, fmt.Errorf("analysis: decoding bias result: duplicate site pc %#x", s.PC)
+		}
+		r.Sites[pc] = SiteBias{Exec: s.Exec, Taken: s.Taken}
+	}
+	return r, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rebalance/internal/isa"
+	"rebalance/internal/wire"
 )
 
 // BranchMix reproduces the Figure 1 pintool: it counts every dynamic
@@ -179,15 +180,30 @@ func (r *MixResult) phaseInsts(idx []int) int64 {
 	return n
 }
 
+// mixWire is the canonical JSON shape of a MixResult: the Figure 1
+// artifact (derived percentages per aggregation phase) plus the raw
+// per-phase counters the derivation and merging work from, so
+// DecodeMixResult rebuilds an identical result from the counters alone.
+type mixWire struct {
+	Insts     [NumPhases]int64              `json:"insts"`
+	BranchPct [NumPhases]float64            `json:"branch_pct"`
+	KindPct   map[string][NumPhases]float64 `json:"kind_pct"`
+	Counters  mixCounters                   `json:"counters"`
+}
+
+// mixCounters are the raw [serial, parallel] counters behind the artifact.
+type mixCounters struct {
+	Insts [2]int64               `json:"insts"`
+	Kinds [2][isa.NumKinds]int64 `json:"kinds"`
+}
+
 // EncodeJSON renders the Figure 1 artifact: per aggregation phase (total,
 // serial, parallel), the dynamic instruction count, each kind's percentage
-// share, and the total branch percentage.
+// share, and the total branch percentage, plus the raw counters remote
+// coordinators decode and merge.
 func (r *MixResult) EncodeJSON() ([]byte, error) {
-	var out struct {
-		Insts     [NumPhases]int64              `json:"insts"`
-		BranchPct [NumPhases]float64            `json:"branch_pct"`
-		KindPct   map[string][NumPhases]float64 `json:"kind_pct"`
-	}
+	var out mixWire
+	out.Counters = mixCounters{Insts: r.Insts, Kinds: r.Kinds}
 	out.KindPct = make(map[string][NumPhases]float64, isa.NumKinds)
 	for pi, p := range Phases {
 		idx := phaseRange(p)
@@ -212,4 +228,15 @@ func (r *MixResult) EncodeJSON() ([]byte, error) {
 		out.BranchPct[pi] = 100 * float64(branches) / float64(n)
 	}
 	return json.Marshal(&out)
+}
+
+// DecodeMixResult parses a MixResult from its canonical JSON artifact.
+// Unknown fields are rejected; derived percentages are recomputed from the
+// raw counters on re-encode.
+func DecodeMixResult(data []byte) (*MixResult, error) {
+	var w mixWire
+	if err := wire.StrictUnmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("analysis: decoding mix result: %w", err)
+	}
+	return &MixResult{Insts: w.Counters.Insts, Kinds: w.Counters.Kinds}, nil
 }

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"sort"
+
 	"rebalance/internal/isa"
 	"rebalance/internal/stats"
+	"rebalance/internal/wire"
 )
 
 // footprintGranularity is the chunk size (bytes) at which dynamic footprints
@@ -171,13 +174,44 @@ func (r *FootprintResult) bytesFor(idx []int, coverage float64) int64 {
 	return stats.FootprintForCoverage(items, coverage)
 }
 
-// EncodeJSON renders the Figure 3 artifact per aggregation phase: static,
-// 99%-dynamic, and touched footprints in KB.
+// footprintWire is the canonical JSON shape of a FootprintResult: the
+// Figure 3 artifact plus the raw per-phase chunk heat maps behind it, so
+// DecodeFootprintResult rebuilds an identical result. Chunks are sorted so
+// the encoding is deterministic regardless of map iteration order.
+type footprintWire struct {
+	StaticKB  float64            `json:"static_kb"`
+	Dyn99KB   [NumPhases]float64 `json:"dyn99_kb"`
+	TouchedKB [NumPhases]float64 `json:"touched_kb"`
+	Counters  footprintCounters  `json:"counters"`
+}
+
+// footprintCounters are the raw counters behind the artifact: the static
+// text size and, per phase (0 serial, 1 parallel), the instruction weight
+// of every touched code chunk.
+type footprintCounters struct {
+	StaticBytes int64          `json:"static_bytes"`
+	Chunks      [2][]chunkWire `json:"chunks"`
+}
+
+// chunkWire is one touched code chunk and its dynamic instruction weight.
+type chunkWire struct {
+	Chunk  uint64 `json:"chunk"`
+	Weight int64  `json:"weight"`
+}
+
+// EncodeJSON renders the Figure 3 artifact per aggregation phase — static,
+// 99%-dynamic, and touched footprints in KB — plus the raw counters remote
+// coordinators decode and merge.
 func (r *FootprintResult) EncodeJSON() ([]byte, error) {
-	var out struct {
-		StaticKB  float64            `json:"static_kb"`
-		Dyn99KB   [NumPhases]float64 `json:"dyn99_kb"`
-		TouchedKB [NumPhases]float64 `json:"touched_kb"`
+	var out footprintWire
+	out.Counters.StaticBytes = r.StaticBytes
+	for i := 0; i < 2; i++ {
+		cs := make([]chunkWire, 0, len(r.Chunks[i]))
+		for c, w := range r.Chunks[i] {
+			cs = append(cs, chunkWire{Chunk: c, Weight: w})
+		}
+		sort.Slice(cs, func(a, b int) bool { return cs[a].Chunk < cs[b].Chunk })
+		out.Counters.Chunks[i] = cs
 	}
 	out.StaticKB = float64(r.StaticBytes) / 1024
 	for pi, p := range Phases {
@@ -186,4 +220,24 @@ func (r *FootprintResult) EncodeJSON() ([]byte, error) {
 		out.TouchedKB[pi] = float64(r.bytesFor(idx, 1.0)) / 1024
 	}
 	return json.Marshal(&out)
+}
+
+// DecodeFootprintResult parses a FootprintResult from its canonical JSON
+// artifact. Unknown fields and duplicate chunks are rejected.
+func DecodeFootprintResult(data []byte) (*FootprintResult, error) {
+	var w footprintWire
+	if err := wire.StrictUnmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("analysis: decoding footprint result: %w", err)
+	}
+	r := &FootprintResult{StaticBytes: w.Counters.StaticBytes}
+	for i := 0; i < 2; i++ {
+		r.Chunks[i] = make(map[uint64]int64, len(w.Counters.Chunks[i]))
+		for _, c := range w.Counters.Chunks[i] {
+			if _, dup := r.Chunks[i][c.Chunk]; dup {
+				return nil, fmt.Errorf("analysis: decoding footprint result: duplicate chunk %#x", c.Chunk)
+			}
+			r.Chunks[i][c.Chunk] = c.Weight
+		}
+	}
+	return r, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"rebalance/internal/isa"
 	"rebalance/internal/registry"
+	"rebalance/internal/wire"
 )
 
 // Result accumulates the measurements the paper reports for one predictor
@@ -300,23 +301,29 @@ func (r *Result) Merge(other any) error {
 	return nil
 }
 
-// EncodeJSON renders the result as its canonical JSON artifact: the raw
-// counters (exact, mergeable by consumers) plus the derived paper metrics.
+// resultWire is the canonical JSON shape of a Result: the raw counters
+// (exact, mergeable by consumers) plus the derived paper metrics. The
+// derived fields are pure functions of the counters, so DecodeResult
+// reconstructs a Result from the counters alone and re-encoding yields
+// byte-identical JSON.
+type resultWire struct {
+	Name         string                      `json:"name"`
+	CostBits     int                         `json:"cost_bits"`
+	Insts        [2]int64                    `json:"insts"`
+	Branches     [2]int64                    `json:"branches"`
+	Miss         [2][isa.NumDirections]int64 `json:"miss"`
+	MPKI         float64                     `json:"mpki"`
+	MPKISerial   float64                     `json:"mpki_serial"`
+	MPKIParallel float64                     `json:"mpki_parallel"`
+	MissRate     float64                     `json:"miss_rate"`
+	MPKIByDir    [isa.NumDirections]float64  `json:"mpki_by_direction"`
+}
+
+// EncodeJSON renders the result as its canonical JSON artifact.
 // Array-valued counters are indexed [serial, parallel]; miss rows are
 // indexed [not-taken, taken-backward, taken-forward].
 func (r *Result) EncodeJSON() ([]byte, error) {
-	return json.Marshal(struct {
-		Name         string                      `json:"name"`
-		CostBits     int                         `json:"cost_bits"`
-		Insts        [2]int64                    `json:"insts"`
-		Branches     [2]int64                    `json:"branches"`
-		Miss         [2][isa.NumDirections]int64 `json:"miss"`
-		MPKI         float64                     `json:"mpki"`
-		MPKISerial   float64                     `json:"mpki_serial"`
-		MPKIParallel float64                     `json:"mpki_parallel"`
-		MissRate     float64                     `json:"miss_rate"`
-		MPKIByDir    [isa.NumDirections]float64  `json:"mpki_by_direction"`
-	}{
+	return json.Marshal(resultWire{
 		Name:         r.Name,
 		CostBits:     r.CostBits,
 		Insts:        r.Insts,
@@ -332,6 +339,24 @@ func (r *Result) EncodeJSON() ([]byte, error) {
 			r.MPKIByDirection(isa.DirTakenForward),
 		},
 	})
+}
+
+// DecodeResult parses a Result from its canonical JSON artifact — the other
+// half of the wire contract, so a coordinator can fold shards produced by a
+// remote worker. Unknown fields are rejected; derived metrics are ignored
+// and recomputed from the raw counters on re-encode.
+func DecodeResult(data []byte) (*Result, error) {
+	var w resultWire
+	if err := wire.StrictUnmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("bpred: decoding result: %w", err)
+	}
+	return &Result{
+		Name:     w.Name,
+		CostBits: w.CostBits,
+		Insts:    w.Insts,
+		Branches: w.Branches,
+		Miss:     w.Miss,
+	}, nil
 }
 
 // Results returns the per-predictor results with instruction counts filled

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"rebalance/internal/isa"
+	"rebalance/internal/wire"
 )
 
 // tagShift drops the index bits when forming tags; a full tag is kept so
@@ -238,22 +239,45 @@ func (r *Result) Merge(other any) error {
 	return nil
 }
 
+// resultWire is the canonical JSON shape: raw counters plus metrics
+// derived from them, so DecodeResult rebuilds a Result from the counters
+// alone and re-encoding is byte-identical.
+type resultWire struct {
+	Name         string   `json:"name"`
+	Entries      int      `json:"entries"`
+	Ways         int      `json:"ways"`
+	Insts        [2]int64 `json:"insts"`
+	Lookups      [2]int64 `json:"lookups"`
+	Misses       [2]int64 `json:"misses"`
+	MPKI         float64  `json:"mpki"`
+	MPKISerial   float64  `json:"mpki_serial"`
+	MPKIParallel float64  `json:"mpki_parallel"`
+	MissRate     float64  `json:"miss_rate"`
+}
+
 // EncodeJSON renders the result as its canonical JSON artifact. Array
 // counters are indexed [serial, parallel].
 func (r *Result) EncodeJSON() ([]byte, error) {
-	return json.Marshal(struct {
-		Name         string   `json:"name"`
-		Entries      int      `json:"entries"`
-		Ways         int      `json:"ways"`
-		Insts        [2]int64 `json:"insts"`
-		Lookups      [2]int64 `json:"lookups"`
-		Misses       [2]int64 `json:"misses"`
-		MPKI         float64  `json:"mpki"`
-		MPKISerial   float64  `json:"mpki_serial"`
-		MPKIParallel float64  `json:"mpki_parallel"`
-		MissRate     float64  `json:"miss_rate"`
-	}{r.Name, r.Entries, r.Ways, r.Insts, r.Lookups, r.Misses,
+	return json.Marshal(resultWire{r.Name, r.Entries, r.Ways, r.Insts, r.Lookups, r.Misses,
 		r.MPKI(), r.MPKISerial(), r.MPKIParallel(), r.MissRate()})
+}
+
+// DecodeResult parses a Result from its canonical JSON artifact, so a
+// coordinator can fold shards produced by a remote worker. Unknown fields
+// are rejected; derived metrics are recomputed from the counters.
+func DecodeResult(data []byte) (*Result, error) {
+	var w resultWire
+	if err := wire.StrictUnmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("btb: decoding result: %w", err)
+	}
+	return &Result{
+		Name:    w.Name,
+		Entries: w.Entries,
+		Ways:    w.Ways,
+		Insts:   w.Insts,
+		Lookups: w.Lookups,
+		Misses:  w.Misses,
+	}, nil
 }
 
 // StandardConfigs returns the nine Figure 7 configurations: {256, 512, 1K}

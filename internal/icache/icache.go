@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"rebalance/internal/isa"
+	"rebalance/internal/wire"
 )
 
 type line struct {
@@ -340,24 +341,51 @@ func (r *Result) Merge(other any) error {
 	return nil
 }
 
+// resultWire is the canonical JSON shape: raw counters plus metrics
+// derived from them, so DecodeResult rebuilds a Result from the counters
+// alone and re-encoding is byte-identical.
+type resultWire struct {
+	Name         string   `json:"name"`
+	SizeBytes    int      `json:"size_bytes"`
+	LineBytes    int      `json:"line_bytes"`
+	Ways         int      `json:"ways"`
+	Insts        [2]int64 `json:"insts"`
+	Accesses     [2]int64 `json:"accesses"`
+	Misses       [2]int64 `json:"misses"`
+	UsedSectors  int64    `json:"used_sectors"`
+	TotalSectors int64    `json:"total_sectors"`
+	MPKI         float64  `json:"mpki"`
+	MPKISerial   float64  `json:"mpki_serial"`
+	MPKIParallel float64  `json:"mpki_parallel"`
+	MissRate     float64  `json:"miss_rate"`
+	Usefulness   float64  `json:"usefulness"`
+}
+
 // EncodeJSON renders the result as its canonical JSON artifact. Array
 // counters are indexed [serial, parallel].
 func (r *Result) EncodeJSON() ([]byte, error) {
-	return json.Marshal(struct {
-		Name         string   `json:"name"`
-		SizeBytes    int      `json:"size_bytes"`
-		LineBytes    int      `json:"line_bytes"`
-		Ways         int      `json:"ways"`
-		Insts        [2]int64 `json:"insts"`
-		Accesses     [2]int64 `json:"accesses"`
-		Misses       [2]int64 `json:"misses"`
-		MPKI         float64  `json:"mpki"`
-		MPKISerial   float64  `json:"mpki_serial"`
-		MPKIParallel float64  `json:"mpki_parallel"`
-		MissRate     float64  `json:"miss_rate"`
-		Usefulness   float64  `json:"usefulness"`
-	}{r.Name, r.SizeBytes, r.LineBytes, r.Ways, r.Insts, r.Accesses, r.Misses,
-		r.MPKI(), r.MPKISerial(), r.MPKIParallel(), r.MissRate(), r.Usefulness()})
+	return json.Marshal(resultWire{
+		Name: r.Name, SizeBytes: r.SizeBytes, LineBytes: r.LineBytes, Ways: r.Ways,
+		Insts: r.Insts, Accesses: r.Accesses, Misses: r.Misses,
+		UsedSectors: r.UsedSectors, TotalSectors: r.TotalSectors,
+		MPKI: r.MPKI(), MPKISerial: r.MPKISerial(), MPKIParallel: r.MPKIParallel(),
+		MissRate: r.MissRate(), Usefulness: r.Usefulness(),
+	})
+}
+
+// DecodeResult parses a Result from its canonical JSON artifact, so a
+// coordinator can fold shards produced by a remote worker. Unknown fields
+// are rejected; derived metrics are recomputed from the counters.
+func DecodeResult(data []byte) (*Result, error) {
+	var w resultWire
+	if err := wire.StrictUnmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("icache: decoding result: %w", err)
+	}
+	return &Result{
+		Name: w.Name, SizeBytes: w.SizeBytes, LineBytes: w.LineBytes, Ways: w.Ways,
+		Insts: w.Insts, Accesses: w.Accesses, Misses: w.Misses,
+		UsedSectors: w.UsedSectors, TotalSectors: w.TotalSectors,
+	}, nil
 }
 
 // StandardSizeConfigs returns the nine Figure 8 configurations:

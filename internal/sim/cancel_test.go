@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// awaitGoroutines polls until the goroutine count drops back to the
+// baseline or the deadline passes, returning the final count.
+func awaitGoroutines(baseline int, deadline time.Duration) int {
+	stop := time.Now().Add(deadline)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(stop) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	return runtime.NumGoroutine()
+}
+
+// TestRunCancellation is the satellite contract: cancelling the context
+// mid-Run must return promptly — aborting shards already executing, not
+// just pending ones — leak no goroutines (including the parallelized
+// predictor simulation's workers), and leave the Session reusable.
+func TestRunCancellation(t *testing.T) {
+	sess := NewSession(2)
+	// Warm the compile cache so the measured interval is execution only.
+	if _, err := sess.Compiled("comd-lite"); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	// One enormous shard per worker: without in-shard cancellation this
+	// spec runs for many seconds, so the prompt-return assertion below
+	// fails loudly rather than hanging.
+	spec := &Spec{
+		Workloads: []string{"comd-lite"},
+		Seeds:     []uint64{1, 2},
+		Insts:     2_000_000_000,
+		Observers: []ObserverSpec{{Kind: "bpred", Options: json.RawMessage(`{"parallel":true}`)}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(100*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := sess.Run(ctx, spec)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled run returned after %v; in-flight shards were not aborted", elapsed)
+	}
+	if n := awaitGoroutines(before, 5*time.Second); n > before {
+		t.Errorf("goroutines leaked after cancelled run: %d before, %d after", before, n)
+	}
+
+	// The session must be reusable: same spec, sane budget, fresh context.
+	small := *spec
+	small.Insts = 20_000
+	rep, err := sess.Run(context.Background(), &small)
+	if err != nil {
+		t.Fatalf("session not reusable after cancellation: %v", err)
+	}
+	if len(rep.Shards) != 2 {
+		t.Fatalf("got %d shards, want 2", len(rep.Shards))
+	}
+}
+
+// TestRunShardCancellation covers the single-shard worker path the simd
+// /v1/shards handler drives: an already-cancelled context aborts before
+// executing, and a mid-run cancellation aborts promptly.
+func TestRunShardCancellation(t *testing.T) {
+	sess := NewSession(1)
+	spec := ShardSpec{
+		Workload: "comd-lite",
+		Seed:     1,
+		Insts:    2_000_000_000,
+		Observer: ObserverSpec{Kind: "bbl"},
+	}
+
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := sess.RunShard(pre, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunShard: want context.Canceled, got %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(100*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := sess.RunShard(ctx, spec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled shard returned after %v", elapsed)
+	}
+}

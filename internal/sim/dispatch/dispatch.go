@@ -1,0 +1,369 @@
+// Package dispatch spreads an expanded shard grid across pluggable
+// execution backends — the missing half of the sim layer's "remote shards
+// fold without re-deriving" promise. A Backend runs one ShardSpec and
+// returns its Shard; LocalBackend wraps a sim.Session's in-process pool,
+// and HTTPBackend speaks the simd worker protocol (POST /v1/shards). The
+// Dispatcher partitions a grid across N backends with bounded in-flight
+// shards, per-shard retry with exponential backoff, and failover to the
+// remaining backends when one dies mid-run.
+//
+// Because every shard is deterministic for its {workload, seed,
+// observer-config, insts, engine} and results land index-aligned with the
+// grid, a Report assembled through the Dispatcher is bit-identical (up to
+// timing fields) to an all-local run — regardless of which backend ran
+// which shard, how many retries it took, or which backends died.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rebalance/internal/sim"
+)
+
+// Backend executes one shard. Implementations must be safe for concurrent
+// RunShard calls: the Dispatcher issues up to its in-flight bound at once.
+type Backend interface {
+	RunShard(ctx context.Context, spec sim.ShardSpec) (sim.Shard, error)
+	// Name identifies the backend in errors (e.g. "local" or the worker's
+	// base URL).
+	Name() string
+}
+
+// LocalBackend runs shards on this process through a sim.Session,
+// reusing its compiled-program cache.
+type LocalBackend struct {
+	Sess *sim.Session
+}
+
+// Name implements Backend.
+func (b *LocalBackend) Name() string { return "local" }
+
+// RunShard implements Backend.
+func (b *LocalBackend) RunShard(ctx context.Context, spec sim.ShardSpec) (sim.Shard, error) {
+	return b.Sess.RunShard(ctx, spec)
+}
+
+// Options tune a Dispatcher. The zero value selects the defaults noted on
+// each field.
+type Options struct {
+	// MaxInFlight bounds the shards executing at once across all
+	// backends, dispatcher-wide: concurrent RunShards calls share one
+	// slot pool (default 2 per backend).
+	MaxInFlight int
+	// Attempts is the per-shard attempt budget, first try included
+	// (default 3). Attempts after a failure prefer a different backend —
+	// the failover path.
+	Attempts int
+	// Backoff is the delay before a shard's second attempt, doubling per
+	// subsequent attempt (default 100ms). The sleep is context-aware.
+	Backoff time.Duration
+	// FailThreshold marks a backend dead after this many consecutive
+	// failures (default 3). Dead backends are skipped while any live one
+	// remains; a success resets the count. Only failures attributable to
+	// the backend count — a cancelled context or an invalid shard spec
+	// says nothing about the worker's health.
+	FailThreshold int
+	// ReviveAfter is how long a dead backend sits out before it is
+	// probed again (default 15s). Only one shard probes at a time, so a
+	// still-dead worker costs one attempt per cooldown, not a burst. A
+	// failed probe restarts the clock; a success fully revives it. This
+	// is what lets a restarted worker rejoin a long-lived coordinator.
+	ReviveAfter time.Duration
+	// AttemptTimeout bounds a single backend call, so a hung (not dead)
+	// worker turns into a retryable failure instead of wedging the run.
+	// 0 derives a generous bound from the shard budget (30s plus 1µs per
+	// instruction — over an order of magnitude above real shard rates);
+	// negative disables the bound entirely.
+	AttemptTimeout time.Duration
+}
+
+// Dispatcher schedules shard grids over a fixed set of backends. It
+// implements sim.ShardRunner, so a sim.Session routes through it via
+// SetRunner. Safe for concurrent RunShards calls; backend health is
+// shared across them, which is what lets a serving coordinator stop
+// hammering a worker that died.
+type Dispatcher struct {
+	backends []*backendState
+	opts     Options
+	// sem is the dispatcher-wide in-flight slot pool, shared by every
+	// RunShards call.
+	sem chan struct{}
+
+	mu sync.Mutex // guards the fields inside each backendState
+}
+
+// backendState tracks one backend's scheduling state.
+type backendState struct {
+	b        Backend
+	inflight int
+	fails    int // consecutive failures; Options.FailThreshold marks dead
+	// deadSince is when fails crossed the threshold (or the last failed
+	// revival probe); zero while live.
+	deadSince time.Time
+	// probing marks an in-flight revival probe, so an expired cooldown
+	// admits exactly one shard instead of a burst.
+	probing bool
+}
+
+// New returns a Dispatcher over the given backends. At least one backend
+// is required; zero Options fields take the documented defaults.
+func New(backends []Backend, opts Options) (*Dispatcher, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("dispatch: no backends")
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 2 * len(backends)
+	}
+	if opts.Attempts <= 0 {
+		opts.Attempts = 3
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = 3
+	}
+	if opts.ReviveAfter <= 0 {
+		opts.ReviveAfter = 15 * time.Second
+	}
+	d := &Dispatcher{opts: opts, sem: make(chan struct{}, opts.MaxInFlight)}
+	for _, b := range backends {
+		d.backends = append(d.backends, &backendState{b: b})
+	}
+	return d, nil
+}
+
+// RunShards implements sim.ShardRunner: it executes every spec and returns
+// the shards index-aligned with the input. The first shard to exhaust its
+// attempts (or a cancelled context) aborts the run; in-flight shards are
+// cancelled and the error is returned once every worker has exited, so no
+// goroutines outlive the call.
+func (d *Dispatcher) RunShards(ctx context.Context, specs []sim.ShardSpec) ([]sim.Shard, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	shards := make([]sim.Shard, len(specs))
+	errs := make([]error, len(specs))
+	next := make(chan int, len(specs))
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+
+	workers := d.opts.MaxInFlight
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
+				shards[i], errs[i] = d.runOne(ctx, specs[i])
+				if errs[i] != nil {
+					cancel() // abort the rest promptly
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Report the most informative error: a real shard failure over the
+	// cancellations it caused.
+	var ctxErr error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return nil, fmt.Errorf("dispatch: shard {%s %s seed %d}: %w",
+			specs[i].Workload, specs[i].Observer.Kind, specs[i].Seed, err)
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return shards, nil
+}
+
+// attemptTimeout resolves the per-attempt deadline for a shard: the
+// configured bound, a budget-derived default, or none (negative option).
+func (d *Dispatcher) attemptTimeout(spec sim.ShardSpec) time.Duration {
+	switch {
+	case d.opts.AttemptTimeout > 0:
+		return d.opts.AttemptTimeout
+	case d.opts.AttemptTimeout < 0:
+		return 0
+	default:
+		return 30*time.Second + time.Duration(spec.Insts)*time.Microsecond
+	}
+}
+
+// runOne executes one shard with the per-shard retry/failover policy. A
+// dispatcher-wide slot is held only while a backend call is in flight —
+// never across a backoff sleep — so one shard retrying against a flaky
+// backend cannot stall others that could run on healthy idle backends.
+func (d *Dispatcher) runOne(ctx context.Context, spec sim.ShardSpec) (sim.Shard, error) {
+	var lastErr error
+	var lastBackend *backendState
+	for attempt := 0; attempt < d.opts.Attempts; attempt++ {
+		if attempt > 0 {
+			// Exponential backoff before every retry, context-aware so a
+			// cancelled run does not sit in a sleep.
+			delay := d.opts.Backoff << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return sim.Shard{}, ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		// Take a dispatcher-wide slot, so concurrent RunShards calls
+		// cannot multiply the in-flight bound.
+		select {
+		case d.sem <- struct{}{}:
+		case <-ctx.Done():
+			return sim.Shard{}, ctx.Err()
+		}
+		sh, bs, err := d.attemptOne(ctx, spec, lastBackend)
+		<-d.sem
+		if err == nil {
+			return sh, nil
+		}
+		if ctx.Err() != nil {
+			return sim.Shard{}, ctx.Err()
+		}
+		if errors.Is(err, sim.ErrInvalidSpec) {
+			// The shard itself is unrunnable; retrying elsewhere cannot
+			// help.
+			return sim.Shard{}, err
+		}
+		if bs == nil {
+			// Nothing eligible to run on.
+			if lastErr == nil {
+				return sim.Shard{}, err
+			}
+			return sim.Shard{}, fmt.Errorf("%w (last error: %v)", err, lastErr)
+		}
+		lastErr = fmt.Errorf("backend %s: %w", bs.b.Name(), err)
+		lastBackend = bs
+	}
+	return sim.Shard{}, fmt.Errorf("shard failed after %d attempts: %w", d.opts.Attempts, lastErr)
+}
+
+// attemptOne makes a single backend attempt while the caller holds an
+// in-flight slot, returning the backend it picked (nil when none was
+// eligible).
+func (d *Dispatcher) attemptOne(ctx context.Context, spec sim.ShardSpec, avoid *backendState) (sim.Shard, *backendState, error) {
+	bs := d.pick(avoid)
+	if bs == nil {
+		return sim.Shard{}, nil, fmt.Errorf("all %d backends dead", len(d.backends))
+	}
+	// Bound the attempt so a hung worker becomes a retryable failure the
+	// failover machinery handles, instead of wedging the run.
+	actx := ctx
+	if to := d.attemptTimeout(spec); to > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, to)
+		defer cancel()
+	}
+	sh, err := bs.b.RunShard(actx, spec)
+	// Only failures attributable to the backend count toward its health:
+	// a cancelled run or an unrunnable shard says nothing about the
+	// worker. An attempt timeout (actx expired, ctx did not) does blame
+	// the backend — that is exactly the hung-worker case.
+	blame := err != nil && ctx.Err() == nil && !errors.Is(err, sim.ErrInvalidSpec)
+	d.settle(bs, err == nil, blame)
+	return sh, bs, err
+}
+
+// eligible reports whether the backend may receive work: live, or dead
+// long enough (ReviveAfter) that it deserves a probe — but only one
+// probe at a time. Callers hold d.mu.
+func (d *Dispatcher) eligible(bs *backendState) bool {
+	if bs.fails < d.opts.FailThreshold {
+		return true
+	}
+	return !bs.probing && time.Since(bs.deadSince) >= d.opts.ReviveAfter
+}
+
+// pick selects the eligible backend with the fewest in-flight shards,
+// reserving a slot on it. A backend whose dead period expired competes
+// like a live one, so revival probes happen even when other backends are
+// idle. A retry avoids the backend that just failed (avoid) when any
+// other eligible backend exists — the failover choice. When nothing is
+// eligible, pick returns nil.
+func (d *Dispatcher) pick(avoid *backendState) *backendState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var best *backendState
+	for _, bs := range d.backends {
+		if bs == avoid || !d.eligible(bs) {
+			continue
+		}
+		if best == nil || bs.inflight < best.inflight {
+			best = bs
+		}
+	}
+	if best == nil && avoid != nil && d.eligible(avoid) {
+		// avoid is the only option; retrying on it beats giving up.
+		best = avoid
+	}
+	if best != nil {
+		best.inflight++
+		if best.fails >= d.opts.FailThreshold {
+			best.probing = true // this shard is the revival probe
+		}
+	}
+	return best
+}
+
+// settle releases the slot pick reserved and updates the backend's
+// health: a success fully revives it; a failure the backend is to blame
+// for counts toward (or extends) its dead period. Failures caused by a
+// cancelled context or an invalid spec leave health untouched.
+func (d *Dispatcher) settle(bs *backendState, ok, blame bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bs.inflight--
+	bs.probing = false
+	switch {
+	case ok:
+		bs.fails = 0
+		bs.deadSince = time.Time{}
+	case blame:
+		bs.fails++
+		if bs.fails >= d.opts.FailThreshold {
+			bs.deadSince = time.Now()
+		}
+	}
+}
+
+// Healthy returns the names of the backends currently considered live —
+// a diagnostic for coordinators that want to log failover events.
+func (d *Dispatcher) Healthy() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for _, bs := range d.backends {
+		if bs.fails < d.opts.FailThreshold {
+			out = append(out, bs.b.Name())
+		}
+	}
+	return out
+}

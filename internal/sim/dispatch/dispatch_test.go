@@ -1,0 +1,537 @@
+package dispatch_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rebalance/internal/sim"
+	"rebalance/internal/sim/dispatch"
+)
+
+// testSpec returns a small runnable shard spec.
+func testSpec(seed uint64) sim.ShardSpec {
+	return sim.ShardSpec{
+		Workload: "comd-lite",
+		Seed:     seed,
+		Insts:    5_000,
+		Observer: sim.ObserverSpec{Kind: "bbl"},
+	}
+}
+
+// fakeBackend scripts a Backend: failures before the first success, an
+// optional permanent error, an optional block-until-cancel.
+type fakeBackend struct {
+	name      string
+	failFirst int // fail this many calls before succeeding
+	permErr   error
+	block     bool // block until ctx is cancelled
+
+	calls atomic.Int64
+}
+
+func (f *fakeBackend) Name() string { return f.name }
+
+func (f *fakeBackend) RunShard(ctx context.Context, spec sim.ShardSpec) (sim.Shard, error) {
+	n := f.calls.Add(1)
+	if f.block {
+		<-ctx.Done()
+		return sim.Shard{}, ctx.Err()
+	}
+	if f.permErr != nil {
+		return sim.Shard{}, f.permErr
+	}
+	if n <= int64(f.failFirst) {
+		return sim.Shard{}, fmt.Errorf("%s: scripted failure %d", f.name, n)
+	}
+	return sim.Shard{Workload: spec.Workload, Seed: spec.Seed, Observer: "bbl", Insts: spec.Insts}, nil
+}
+
+func fastOpts() dispatch.Options {
+	return dispatch.Options{Backoff: time.Millisecond}
+}
+
+func TestRetrySameBackend(t *testing.T) {
+	// A transiently failing sole backend: the per-shard retry budget
+	// absorbs the failures.
+	b := &fakeBackend{name: "flaky", failFirst: 2}
+	d, err := dispatch.New([]dispatch.Backend{b}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 || shards[0].Seed != 1 {
+		t.Fatalf("shards = %+v", shards)
+	}
+	if got := b.calls.Load(); got != 3 {
+		t.Errorf("backend saw %d calls, want 3", got)
+	}
+}
+
+func TestFailoverToLiveBackend(t *testing.T) {
+	dead := &fakeBackend{name: "dead", permErr: errors.New("connection refused")}
+	live := &fakeBackend{name: "live"}
+	opts := fastOpts()
+	opts.MaxInFlight = 1 // sequential, so the dead backend's call count is exact
+	d, err := dispatch.New([]dispatch.Backend{dead, live}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]sim.ShardSpec, 8)
+	for i := range specs {
+		specs[i] = testSpec(uint64(i + 1))
+	}
+	shards, err := d.RunShards(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if shards[i].Seed != uint64(i+1) {
+			t.Errorf("shard %d has seed %d", i, shards[i].Seed)
+		}
+	}
+	// The dead backend is marked dead after FailThreshold consecutive
+	// failures and stops receiving work.
+	if healthy := d.Healthy(); len(healthy) != 1 || healthy[0] != "live" {
+		t.Errorf("healthy = %v, want [live]", healthy)
+	}
+	if got := dead.calls.Load(); got > 3 {
+		t.Errorf("dead backend kept receiving shards: %d calls", got)
+	}
+}
+
+func TestAllBackendsDead(t *testing.T) {
+	a := &fakeBackend{name: "a", permErr: errors.New("boom")}
+	b := &fakeBackend{name: "b", permErr: errors.New("boom")}
+	d, err := dispatch.New([]dispatch.Backend{a, b}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1), testSpec(2)})
+	if err == nil {
+		t.Fatal("want error when every backend is dead")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error does not surface the backend failure: %v", err)
+	}
+}
+
+func TestInvalidSpecNotRetried(t *testing.T) {
+	b := &fakeBackend{name: "a", permErr: fmt.Errorf("%w: bad shard", sim.ErrInvalidSpec)}
+	d, err := dispatch.New([]dispatch.Backend{b}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1)})
+	if !errors.Is(err, sim.ErrInvalidSpec) {
+		t.Fatalf("want ErrInvalidSpec, got %v", err)
+	}
+	if got := b.calls.Load(); got != 1 {
+		t.Errorf("invalid spec was retried: %d calls", got)
+	}
+}
+
+// TestCancellationReleasesWorkers is the satellite leak check for the
+// dispatcher: cancelling mid-run returns promptly and leaves no
+// dispatcher goroutines behind.
+func TestCancellationReleasesWorkers(t *testing.T) {
+	blocker := &fakeBackend{name: "blocker", block: true}
+	d, err := dispatch.New([]dispatch.Backend{blocker}, dispatch.Options{MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]sim.ShardSpec, 16)
+	for i := range specs {
+		specs[i] = testSpec(uint64(i + 1))
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	_, err = d.RunShards(ctx, specs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled dispatch took %v", elapsed)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked after cancelled dispatch: %d before, %d after", before, n)
+	}
+}
+
+// TestHungBackendFailsOver: a wedged worker (accepts the request, never
+// answers) must become a retryable per-attempt timeout, not wedge the
+// run — the shard completes on the healthy backend.
+func TestHungBackendFailsOver(t *testing.T) {
+	hung := &fakeBackend{name: "hung", block: true}
+	live := &fakeBackend{name: "live"}
+	opts := fastOpts()
+	opts.AttemptTimeout = 30 * time.Millisecond
+	d, err := dispatch.New([]dispatch.Backend{hung, live}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	shards, err := d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1), testSpec(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 || shards[0].Seed != 1 || shards[1].Seed != 2 {
+		t.Fatalf("shards = %+v", shards)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("hung worker stalled the run for %v", elapsed)
+	}
+}
+
+// TestCancellationDoesNotMarkBackendsDead: failures caused by a
+// cancelled context are not the backend's fault and must leave the
+// dispatcher's shared health state untouched.
+func TestCancellationDoesNotMarkBackendsDead(t *testing.T) {
+	blocker := &fakeBackend{name: "blocker", block: true}
+	d, err := dispatch.New([]dispatch.Backend{blocker}, dispatch.Options{MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]sim.ShardSpec, 8)
+	for i := range specs {
+		specs[i] = testSpec(uint64(i + 1))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(20*time.Millisecond, cancel)
+	if _, err := d.RunShards(ctx, specs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if healthy := d.Healthy(); len(healthy) != 1 {
+		t.Errorf("cancelled run marked the backend dead: healthy = %v", healthy)
+	}
+}
+
+// TestInvalidSpecDoesNotMarkBackendsDead: a worker rejecting unrunnable
+// shards is doing its job, not failing.
+func TestInvalidSpecDoesNotMarkBackendsDead(t *testing.T) {
+	b := &fakeBackend{name: "a", permErr: fmt.Errorf("%w: bad shard", sim.ErrInvalidSpec)}
+	d, err := dispatch.New([]dispatch.Backend{b}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1)}); !errors.Is(err, sim.ErrInvalidSpec) {
+			t.Fatalf("want ErrInvalidSpec, got %v", err)
+		}
+	}
+	if healthy := d.Healthy(); len(healthy) != 1 {
+		t.Errorf("invalid specs marked the backend dead: healthy = %v", healthy)
+	}
+}
+
+// TestDeadBackendRevives: after ReviveAfter a dead backend is probed
+// again, and a successful probe fully revives it — a restarted worker
+// rejoins a long-lived coordinator.
+func TestDeadBackendRevives(t *testing.T) {
+	flaky := &fakeBackend{name: "flaky", failFirst: 3} // dead after 3, healthy after restart
+	steady := &fakeBackend{name: "steady"}
+	opts := fastOpts()
+	opts.MaxInFlight = 1 // sequential, so the dead-marking point is exact
+	opts.ReviveAfter = 50 * time.Millisecond
+	d, err := dispatch.New([]dispatch.Backend{flaky, steady}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]sim.ShardSpec, 8)
+	for i := range specs {
+		specs[i] = testSpec(uint64(i + 1))
+	}
+	if _, err := d.RunShards(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	if healthy := d.Healthy(); len(healthy) != 1 || healthy[0] != "steady" {
+		t.Fatalf("flaky backend not dead yet: healthy = %v", healthy)
+	}
+	time.Sleep(60 * time.Millisecond) // past ReviveAfter: next run probes it
+	if _, err := d.RunShards(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	if healthy := d.Healthy(); len(healthy) != 2 {
+		t.Errorf("recovered backend was never revived: healthy = %v", healthy)
+	}
+}
+
+// countingBackend records the peak number of concurrent RunShard calls.
+type countingBackend struct {
+	cur, peak atomic.Int64
+}
+
+func (c *countingBackend) Name() string { return "counting" }
+
+func (c *countingBackend) RunShard(ctx context.Context, spec sim.ShardSpec) (sim.Shard, error) {
+	n := c.cur.Add(1)
+	for {
+		p := c.peak.Load()
+		if n <= p || c.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	time.Sleep(5 * time.Millisecond)
+	c.cur.Add(-1)
+	return sim.Shard{Workload: spec.Workload, Seed: spec.Seed, Observer: "bbl", Insts: spec.Insts}, nil
+}
+
+// TestMaxInFlightIsDispatcherWide: concurrent RunShards calls share one
+// slot pool instead of multiplying the bound.
+func TestMaxInFlightIsDispatcherWide(t *testing.T) {
+	cb := &countingBackend{}
+	d, err := dispatch.New([]dispatch.Backend{cb}, dispatch.Options{MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			specs := make([]sim.ShardSpec, 6)
+			for i := range specs {
+				specs[i] = testSpec(uint64(g*100 + i + 1))
+			}
+			if _, err := d.RunShards(context.Background(), specs); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p := cb.peak.Load(); p > 2 {
+		t.Errorf("saw %d concurrent shards across runs; MaxInFlight 2 must be dispatcher-wide", p)
+	}
+}
+
+// goldenSpec is the exact Spec the sim package's golden-file test runs, as
+// the JSON a remote client would send.
+const goldenSpec = `{
+	"workloads": ["comd-lite", "xalan-lite"],
+	"seeds": [1, 2],
+	"insts": 40000,
+	"observers": [
+		{"kind": "bpred", "options": {"configs": ["gshare-small", "tage-small"]}},
+		{"kind": "btb", "options": {"geometries": [{"entries": 512, "ways": 4}]}},
+		{"kind": "icache", "options": {"geometries": [{"size_kb": 16, "line_bytes": 64, "ways": 4}]}},
+		{"kind": "branch-mix"},
+		{"kind": "bias"},
+		{"kind": "footprint"},
+		{"kind": "bbl"}
+	]
+}`
+
+// newWorker stands up one in-process simd worker: the same WorkerHandler
+// cmd/simd mounts, over its own session (its own compile cache), so every
+// worker re-derives everything from the wire bytes alone.
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(dispatch.WorkerHandler(sim.NewSession(2), 0))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// runGoldenDispatched runs the golden spec through a Session routed over
+// the given backends and renders the report exactly as the golden file
+// does (timing and worker-count fields zeroed).
+func runGoldenDispatched(t *testing.T, backends []dispatch.Backend, opts dispatch.Options) []byte {
+	t.Helper()
+	spec, err := sim.DecodeSpec([]byte(goldenSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dispatch.New(backends, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := sim.NewSession(2)
+	sess.SetRunner(d)
+	rep, err := sess.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.WallNS = 0
+	rep.Workers = 0
+	for i := range rep.Shards {
+		rep.Shards[i].ElapsedNS = 0
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(got, '\n')
+}
+
+func readGolden(t *testing.T) []byte {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("..", "testdata", "report_v1.golden.json"))
+	if err != nil {
+		t.Fatalf("%v (generate with `go test ./internal/sim -run TestReportGolden -update`)", err)
+	}
+	return want
+}
+
+// TestTwoWorkersMatchGolden is the acceptance check: a run split across
+// two simd worker processes produces a sim/v1 report byte-identical to
+// the same Spec run all-local (the golden file is generated by the
+// all-local path in the sim package's tests).
+func TestTwoWorkersMatchGolden(t *testing.T) {
+	w1, w2 := newWorker(t), newWorker(t)
+	got := runGoldenDispatched(t, []dispatch.Backend{
+		dispatch.NewHTTPBackend(w1.URL, nil),
+		dispatch.NewHTTPBackend(w2.URL, nil),
+	}, dispatch.Options{MaxInFlight: 4})
+	if want := readGolden(t); string(got) != string(want) {
+		t.Errorf("report dispatched across 2 workers differs from the all-local golden;\ngot:\n%s", got)
+	}
+}
+
+// TestMixedLocalAndRemoteMatchGolden checks a LocalBackend and an HTTP
+// worker interleave into the same bit-identical report.
+func TestMixedLocalAndRemoteMatchGolden(t *testing.T) {
+	w := newWorker(t)
+	got := runGoldenDispatched(t, []dispatch.Backend{
+		&dispatch.LocalBackend{Sess: sim.NewSession(2)},
+		dispatch.NewHTTPBackend(w.URL, nil),
+	}, dispatch.Options{MaxInFlight: 4})
+	if want := readGolden(t); string(got) != string(want) {
+		t.Errorf("report dispatched across local+remote differs from the all-local golden;\ngot:\n%s", got)
+	}
+}
+
+// TestFailoverMatchesGolden is the acceptance failover check: one of the
+// two workers dies mid-run (it serves a few shards, then aborts every
+// connection), and the run must still complete via the surviving worker
+// with the identical report.
+func TestFailoverMatchesGolden(t *testing.T) {
+	healthy := newWorker(t)
+
+	inner := dispatch.WorkerHandler(sim.NewSession(2), 0)
+	var served atomic.Int64
+	dying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) > 3 {
+			// Sever the connection mid-request: the coordinator sees a
+			// transport error, exactly as if the worker process was
+			// killed.
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(dying.Close)
+
+	got := runGoldenDispatched(t, []dispatch.Backend{
+		dispatch.NewHTTPBackend(dying.URL, nil),
+		dispatch.NewHTTPBackend(healthy.URL, nil),
+	}, dispatch.Options{MaxInFlight: 4, Backoff: time.Millisecond})
+	if want := readGolden(t); string(got) != string(want) {
+		t.Errorf("report after mid-run worker death differs from the all-local golden;\ngot:\n%s", got)
+	}
+	if n := served.Load(); n <= 3 {
+		t.Fatalf("dying worker served only %d requests; the kill never triggered", n)
+	}
+}
+
+// TestGroupedParallelRemote runs a grouped, parallelized bpred shard
+// through a worker and checks the decoded group result matches the same
+// shard run locally — covering the GroupResult wire path and the worker's
+// goroutine-owning observer teardown.
+func TestGroupedParallelRemote(t *testing.T) {
+	spec := sim.ShardSpec{
+		Workload: "xalan-lite",
+		Seed:     7,
+		Insts:    30_000,
+		Observer: sim.ObserverSpec{
+			Kind:    "bpred",
+			Options: json.RawMessage(`{"configs":["gshare-small","tage-small","L-tournament-small"],"parallel":true}`),
+		},
+	}
+	local, err := sim.NewSession(1).RunShard(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorker(t)
+	remote, err := dispatch.NewHTTPBackend(w.URL, nil).RunShard(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, err1 := local.Result.EncodeJSON()
+	re, err2 := remote.Result.EncodeJSON()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if string(le) != string(re) {
+		t.Errorf("remote grouped result differs:\nlocal:  %s\nremote: %s", le, re)
+	}
+	if local.Insts != remote.Insts {
+		t.Errorf("emitted insts differ: local %d, remote %d", local.Insts, remote.Insts)
+	}
+}
+
+// TestDispatcherConcurrentRunShards drives one dispatcher from several
+// goroutines, as a serving coordinator would, checking shared health
+// state stays consistent under the race detector.
+func TestDispatcherConcurrentRunShards(t *testing.T) {
+	w := newWorker(t)
+	d, err := dispatch.New([]dispatch.Backend{
+		dispatch.NewHTTPBackend(w.URL, nil),
+		&dispatch.LocalBackend{Sess: sim.NewSession(1)},
+	}, dispatch.Options{MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			specs := []sim.ShardSpec{testSpec(uint64(g + 1)), testSpec(uint64(g + 100))}
+			shards, err := d.RunShards(context.Background(), specs)
+			if err == nil && len(shards) != 2 {
+				err = fmt.Errorf("got %d shards", len(shards))
+			}
+			errs[g] = err
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent run %d: %v", g, err)
+		}
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	good, err := dispatch.ParseBackends("http://a:1, http://b:2/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good) != 2 || good[0].Name() != "http://a:1" || good[1].Name() != "http://b:2" {
+		t.Errorf("parsed %v, %v", good[0].Name(), good[1].Name())
+	}
+	for _, bad := range []string{"", "http://a,", "http://a,http://a", "ftp://a", "a:1"} {
+		if _, err := dispatch.ParseBackends(bad, nil); err == nil {
+			t.Errorf("ParseBackends(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"rebalance/internal/sim"
+)
+
+// ShardsPath is the worker protocol endpoint: a worker accepts a
+// sim.ShardSpec as a JSON POST body and responds with the shard's wire
+// record (the same shape as a sim/v1 report's shard entries).
+//
+// Failure semantics: 400 with a JSON {"error": ...} body means the shard
+// spec itself is invalid — the coordinator maps it to sim.ErrInvalidSpec
+// and does not retry, because no backend can run it. Any other non-200
+// status, a transport error, or a response that fails to decode counts as
+// a backend failure: the Dispatcher retries the shard with backoff,
+// preferring a different backend, and marks the worker dead after
+// consecutive failures.
+const ShardsPath = "/v1/shards"
+
+// maxShardRespBytes bounds worker responses; a shard record is a few KB
+// even with footprint chunk maps, so anything larger is a broken worker.
+const maxShardRespBytes = 16 << 20
+
+// HTTPBackend runs shards on a remote simd worker process.
+type HTTPBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend returns a backend for the worker at base (e.g.
+// "http://host:8080"; a trailing slash is trimmed). A nil client selects
+// http.DefaultClient; pass one to set timeouts or transport knobs.
+func NewHTTPBackend(base string, client *http.Client) *HTTPBackend {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPBackend{base: strings.TrimRight(base, "/"), client: client}
+}
+
+// Name implements Backend.
+func (b *HTTPBackend) Name() string { return b.base }
+
+// RunShard implements Backend: POST the spec, decode the shard, verify it
+// answers this spec. The embedded result is decoded to its concrete type
+// through the spec's observer configuration, so the caller merges it
+// exactly like a locally-produced shard.
+func (b *HTTPBackend) RunShard(ctx context.Context, spec sim.ShardSpec) (sim.Shard, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return sim.Shard{}, err
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return sim.Shard{}, fmt.Errorf("dispatch: marshalling shard spec: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+ShardsPath, bytes.NewReader(body))
+	if err != nil {
+		return sim.Shard{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return sim.Shard{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxShardRespBytes))
+	if err != nil {
+		return sim.Shard{}, fmt.Errorf("reading worker response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		if resp.StatusCode == http.StatusBadRequest {
+			// The worker judged the spec invalid; retrying cannot help.
+			return sim.Shard{}, fmt.Errorf("%w: worker %s rejected shard: %s", sim.ErrInvalidSpec, b.base, msg)
+		}
+		return sim.Shard{}, fmt.Errorf("worker %s: status %d: %s", b.base, resp.StatusCode, msg)
+	}
+	return sim.DecodeShard(data, spec, cfg)
+}
+
+// WorkerHandler serves the worker protocol over sess: POST /v1/shards
+// runs one shard on the session's pool and compiled-program cache.
+// cmd/simd mounts it in both modes; tests drive it through httptest to
+// stand up in-process workers. maxInsts > 0 rejects shards with a larger
+// instruction budget, mirroring the coordinator endpoint's guard.
+func WorkerHandler(sess *sim.Session, maxInsts int64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+ShardsPath, func(w http.ResponseWriter, r *http.Request) {
+		const maxShardSpecBytes = 1 << 20
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxShardSpecBytes))
+		if err != nil {
+			writeShardError(w, http.StatusBadRequest, fmt.Errorf("reading shard spec: %w", err))
+			return
+		}
+		spec, err := sim.DecodeShardSpec(body)
+		if err != nil {
+			writeShardError(w, http.StatusBadRequest, err)
+			return
+		}
+		if maxInsts > 0 && spec.Insts > maxInsts {
+			writeShardError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: per-shard budget %d exceeds worker limit %d", sim.ErrInvalidSpec, spec.Insts, maxInsts))
+			return
+		}
+		sh, err := sess.RunShard(r.Context(), *spec)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, sim.ErrInvalidSpec) {
+				status = http.StatusBadRequest
+			}
+			writeShardError(w, status, err)
+			return
+		}
+		enc, err := sim.EncodeShard(sh)
+		if err != nil {
+			writeShardError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(enc)
+	})
+	return mux
+}
+
+func writeShardError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// ParseBackends builds HTTP backends from a comma-separated URL list (the
+// shape of rebalance-bench's -backends flag), rejecting empty and
+// duplicate entries. A nil client selects http.DefaultClient.
+func ParseBackends(csv string, client *http.Client) ([]Backend, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]Backend, 0, len(parts))
+	seen := map[string]bool{}
+	for _, p := range parts {
+		u := strings.TrimRight(strings.TrimSpace(p), "/")
+		if u == "" {
+			return nil, fmt.Errorf("dispatch: empty backend URL in %q", csv)
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("dispatch: backend %q is not an http(s) URL", u)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("dispatch: duplicate backend %q", u)
+		}
+		seen[u] = true
+		out = append(out, NewHTTPBackend(u, client))
+	}
+	return out, nil
+}
+
+// DefaultClient returns an http.Client suitable for shard traffic: no
+// overall timeout (shards legitimately run for a while, and the response
+// header only arrives when the shard finishes; cancellation flows through
+// the request context) but a bounded connect phase so a dead worker fails
+// fast instead of hanging a dispatcher slot.
+func DefaultClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext:     (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			IdleConnTimeout: 90 * time.Second,
+		},
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenSeeds extracts seed corpus entries from the golden report file:
+// the normalized spec and every shard's result artifact — real wire bytes,
+// so the fuzzers start from the interesting part of the input space.
+func goldenSeeds(f *testing.F) (spec []byte, results [][]byte) {
+	f.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "report_v1.golden.json"))
+	if err != nil {
+		f.Fatalf("%v (generate with `go test ./internal/sim -run TestReportGolden -update`)", err)
+	}
+	var rep struct {
+		Spec   json.RawMessage `json:"spec"`
+		Shards []struct {
+			Result json.RawMessage `json:"result"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		f.Fatal(err)
+	}
+	for _, sh := range rep.Shards {
+		results = append(results, sh.Result)
+	}
+	return rep.Spec, results
+}
+
+// FuzzDecodeSpec is the satellite fuzzer for the request surface: spec
+// JSON must never panic the decoder, and every rejection must map to
+// ErrInvalidSpec (the contract simd relies on to answer 400 instead of
+// 500). The shard-spec decoder shares the contract, so it is fuzzed with
+// the same inputs.
+func FuzzDecodeSpec(f *testing.F) {
+	spec, _ := goldenSeeds(f)
+	f.Add(spec)
+	f.Add([]byte(`{"workloads":["comd-lite"],"insts":1000,"observers":[{"kind":"bbl"}]}`))
+	f.Add([]byte(`{"workloads":["comd-lite","xalan-lite"],"seed_count":3,"insts":5,"engine":"reference","observers":[{"kind":"bpred","options":{"configs":["gshare-small"],"parallel":true}}]}`))
+	f.Add([]byte(`{"workloads":["no-such"],"insts":1000,"observers":[{"kind":"bbl"}]}`))
+	f.Add([]byte(`{"workloads":[],"insts":0}`))
+	f.Add([]byte(`{"workloads":["comd-lite"],"seed_count":999999999999,"insts":1,"observers":[{"kind":"bbl"}]}`))
+	f.Add([]byte(`{"workloads":["comd-lite"],"seeds":[1,1],"insts":1,"observers":[{"kind":"btb","options":{"geometries":[{"entries":100,"ways":3}]}}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"workloads":["comd-lite"],"insts":1000,"observers":[{"kind":"bbl"}]} trailing`))
+	f.Add([]byte(`{"workload":"comd-lite","seed":1,"insts":1000,"observer":{"kind":"bbl"}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidSpec) {
+				t.Fatalf("DecodeSpec error does not wrap ErrInvalidSpec: %v", err)
+			}
+		} else if err := spec.Validate(); err != nil {
+			t.Fatalf("decoded spec fails its own validation: %v", err)
+		}
+
+		sp, err := DecodeShardSpec(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidSpec) {
+				t.Fatalf("DecodeShardSpec error does not wrap ErrInvalidSpec: %v", err)
+			}
+		} else if _, err := sp.Config(); err != nil {
+			t.Fatalf("decoded shard spec fails its own validation: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeShardResult is the satellite fuzzer for the response surface:
+// every registered configuration's result decoder must never panic on
+// arbitrary bytes, and anything it accepts must re-encode and re-decode
+// to a fixed point — otherwise two coordinators could disagree about the
+// same shard.
+func FuzzDecodeShardResult(f *testing.F) {
+	_, results := goldenSeeds(f)
+	for _, r := range results {
+		f.Add([]byte(r))
+	}
+	f.Add([]byte(`{"name":"gshare-small","cost_bits":1,"insts":[1,2],"branches":[1,1],"miss":[[0,0,0],[1,0,0]],"mpki":0,"mpki_serial":0,"mpki_parallel":0,"miss_rate":0,"mpki_by_direction":[0,0,0]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+
+	// Configurations are immutable value types; expand once, reuse across
+	// iterations.
+	var specs []ObserverSpec
+	for _, kind := range ObserverKinds() {
+		specs = append(specs, ObserverSpec{Kind: kind})
+	}
+	configs, err := expandObservers(specs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	grouped, err := expandObservers([]ObserverSpec{{
+		Kind:    "bpred",
+		Options: json.RawMessage(`{"configs":["gshare-small","tage-small"],"grouped":true}`),
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	configs = append(configs, grouped...)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, cfg := range configs {
+			res, err := cfg.Decode(data)
+			if err != nil {
+				continue // rejection is fine; panicking is not
+			}
+			enc, err := res.EncodeJSON()
+			if err != nil {
+				t.Fatalf("%s: accepted input fails to re-encode: %v", cfg.Key(), err)
+			}
+			again, err := cfg.Decode(enc)
+			if err != nil {
+				t.Fatalf("%s: re-encoded result fails to decode: %v\nencoded: %s", cfg.Key(), err, enc)
+			}
+			enc2, err := again.EncodeJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(enc) != string(enc2) {
+				t.Fatalf("%s: decode/encode not a fixed point:\nfirst:  %s\nsecond: %s", cfg.Key(), enc, enc2)
+			}
+		}
+	})
+}

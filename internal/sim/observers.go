@@ -11,7 +11,18 @@ import (
 	"rebalance/internal/icache"
 	"rebalance/internal/isa"
 	"rebalance/internal/program"
+	"rebalance/internal/wire"
 )
+
+// mustOptions marshals a config's option struct for Spec(); the structs
+// are plain data, so a marshal failure is a programming error.
+func mustOptions(v any) json.RawMessage {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("sim: marshalling observer options: %v", err))
+	}
+	return enc
+}
 
 func init() {
 	RegisterObserver("bpred", bpredFactory)
@@ -19,16 +30,20 @@ func init() {
 	RegisterObserver("icache", icacheFactory)
 	RegisterObserver("branch-mix", analysisFactory("branch-mix", func(*program.Program) ShardObserver {
 		return &mixShard{mix: analysis.NewBranchMix()}
-	}, func() Result { return &analysis.MixResult{} }))
+	}, func() Result { return &analysis.MixResult{} },
+		func(data []byte) (Result, error) { return analysis.DecodeMixResult(data) }))
 	RegisterObserver("bias", analysisFactory("bias", func(*program.Program) ShardObserver {
 		return &biasShard{bias: analysis.NewBias()}
-	}, func() Result { return &analysis.BiasResult{} }))
+	}, func() Result { return &analysis.BiasResult{} },
+		func(data []byte) (Result, error) { return analysis.DecodeBiasResult(data) }))
 	RegisterObserver("footprint", analysisFactory("footprint", func(p *program.Program) ShardObserver {
 		return &fpShard{fp: analysis.NewFootprint(), static: p.TextSize}
-	}, func() Result { return &analysis.FootprintResult{} }))
+	}, func() Result { return &analysis.FootprintResult{} },
+		func(data []byte) (Result, error) { return analysis.DecodeFootprintResult(data) }))
 	RegisterObserver("bbl", analysisFactory("bbl", func(*program.Program) ShardObserver {
 		return &bblShard{bbl: analysis.NewBBL()}
-	}, func() Result { return &analysis.BBLResult{} }))
+	}, func() Result { return &analysis.BBLResult{} },
+		func(data []byte) (Result, error) { return analysis.DecodeBBLResult(data) }))
 }
 
 // --- bpred ---
@@ -82,6 +97,21 @@ func (c bpredCfg) NewObserver(*program.Program) ShardObserver {
 
 func (c bpredCfg) NewResult() Result { return &bpred.Result{} }
 
+func (c bpredCfg) Spec() ObserverSpec {
+	return ObserverSpec{Kind: "bpred", Options: mustOptions(bpredOptions{Configs: []string{c.name}})}
+}
+
+func (c bpredCfg) Decode(data json.RawMessage) (Result, error) {
+	r, err := bpred.DecodeResult(data)
+	if err != nil {
+		return nil, err
+	}
+	if r.Name != c.name {
+		return nil, fmt.Errorf("sim: decoded bpred result for %q, want %q", r.Name, c.name)
+	}
+	return r, nil
+}
+
 type bpredShard struct{ sim *bpred.Sim }
 
 func (b *bpredShard) Observe(in isa.Inst)           { b.sim.Observe(in) }
@@ -121,6 +151,36 @@ func (c bpredGroupCfg) NewResult() Result {
 		rs[i] = &bpred.Result{}
 	}
 	return &GroupResult{Results: rs}
+}
+
+func (c bpredGroupCfg) Spec() ObserverSpec {
+	return ObserverSpec{Kind: "bpred", Options: mustOptions(bpredOptions{
+		Configs: c.names, Grouped: true, Parallel: c.parallel,
+	})}
+}
+
+// Decode parses the grouped artifact: a JSON array with one bpred result
+// per configured predictor, in configuration order.
+func (c bpredGroupCfg) Decode(data json.RawMessage) (Result, error) {
+	var elems []json.RawMessage
+	if err := wire.StrictUnmarshal(data, &elems); err != nil {
+		return nil, fmt.Errorf("sim: decoding bpred group result: %w", err)
+	}
+	if len(elems) != len(c.names) {
+		return nil, fmt.Errorf("sim: bpred group result has %d members, want %d", len(elems), len(c.names))
+	}
+	out := &GroupResult{Results: make([]Result, len(elems))}
+	for i, e := range elems {
+		r, err := bpred.DecodeResult(e)
+		if err != nil {
+			return nil, err
+		}
+		if r.Name != c.names[i] {
+			return nil, fmt.Errorf("sim: bpred group member %d is %q, want %q", i, r.Name, c.names[i])
+		}
+		out.Results[i] = r
+	}
+	return out, nil
 }
 
 type bpredGroupShard struct{ sim *bpred.Sim }
@@ -183,6 +243,21 @@ func (c btbCfg) NewObserver(*program.Program) ShardObserver {
 
 func (c btbCfg) NewResult() Result { return &btb.Result{} }
 
+func (c btbCfg) Spec() ObserverSpec {
+	return ObserverSpec{Kind: "btb", Options: mustOptions(btbOptions{Geometries: []btbGeometry{c.g}})}
+}
+
+func (c btbCfg) Decode(data json.RawMessage) (Result, error) {
+	r, err := btb.DecodeResult(data)
+	if err != nil {
+		return nil, err
+	}
+	if r.Entries != c.g.Entries || r.Ways != c.g.Ways {
+		return nil, fmt.Errorf("sim: decoded btb result for %dx%d, want %dx%d", r.Entries, r.Ways, c.g.Entries, c.g.Ways)
+	}
+	return r, nil
+}
+
 type btbShard struct{ b *btb.BTB }
 
 func (s *btbShard) Observe(in isa.Inst)           { s.b.Observe(in) }
@@ -240,6 +315,21 @@ func (c icacheCfg) NewObserver(*program.Program) ShardObserver {
 
 func (c icacheCfg) NewResult() Result { return &icache.Result{} }
 
+func (c icacheCfg) Spec() ObserverSpec {
+	return ObserverSpec{Kind: "icache", Options: mustOptions(icacheOptions{Geometries: []icacheGeometry{c.g}})}
+}
+
+func (c icacheCfg) Decode(data json.RawMessage) (Result, error) {
+	r, err := icache.DecodeResult(data)
+	if err != nil {
+		return nil, err
+	}
+	if r.SizeBytes != c.g.SizeKB*1024 || r.LineBytes != c.g.LineBytes || r.Ways != c.g.Ways {
+		return nil, fmt.Errorf("sim: decoded icache result for %s, want %s", r.Name, c.Key())
+	}
+	return r, nil
+}
+
 type icacheShard struct{ c *icache.Cache }
 
 func (s *icacheShard) Observe(in isa.Inst)           { s.c.Observe(in) }
@@ -254,12 +344,12 @@ func (s *icacheShard) Finish() (Result, error) {
 
 // analysisFactory wraps a single-configuration analysis collector; the
 // collectors take no options, so any options payload is rejected.
-func analysisFactory(key string, newObs func(*program.Program) ShardObserver, newRes func() Result) ObserverFactory {
+func analysisFactory(key string, newObs func(*program.Program) ShardObserver, newRes func() Result, decode func([]byte) (Result, error)) ObserverFactory {
 	return func(opts json.RawMessage) ([]ObserverConfig, error) {
 		if err := strictDecode(opts, &struct{}{}); err != nil {
 			return nil, err
 		}
-		return []ObserverConfig{analysisCfg{key: key, newObs: newObs, newRes: newRes}}, nil
+		return []ObserverConfig{analysisCfg{key: key, newObs: newObs, newRes: newRes, decode: decode}}, nil
 	}
 }
 
@@ -267,11 +357,15 @@ type analysisCfg struct {
 	key    string
 	newObs func(*program.Program) ShardObserver
 	newRes func() Result
+	decode func([]byte) (Result, error)
 }
 
 func (c analysisCfg) Key() string                                  { return c.key }
 func (c analysisCfg) NewObserver(p *program.Program) ShardObserver { return c.newObs(p) }
 func (c analysisCfg) NewResult() Result                            { return c.newRes() }
+func (c analysisCfg) Spec() ObserverSpec                           { return ObserverSpec{Kind: c.key} }
+
+func (c analysisCfg) Decode(data json.RawMessage) (Result, error) { return c.decode(data) }
 
 type mixShard struct{ mix *analysis.BranchMix }
 

@@ -16,8 +16,10 @@ const SchemaV1 = "sim/v1"
 type Report struct {
 	Schema string `json:"schema"`
 	// Spec is the normalized spec (seeds expanded, engine defaulted).
-	Spec    *Spec `json:"spec"`
-	Workers int   `json:"workers"`
+	Spec *Spec `json:"spec"`
+	// Workers is the local pool concurrency the run used; 0 when the
+	// grid was dispatched through a runner, whose concurrency is its own.
+	Workers int `json:"workers"`
 	// Shards are in deterministic order: workload-major, then observer
 	// configuration (spec order), then seed.
 	Shards []Shard `json:"shards"`

@@ -18,6 +18,7 @@ import (
 type Session struct {
 	workers   int
 	maxShards int
+	runner    ShardRunner
 
 	mu       sync.Mutex
 	compiled map[string]*compileEntry
@@ -49,6 +50,15 @@ func (s *Session) Workers() int { return s.workers }
 // set it so a single request cannot allocate an unbounded grid; the limit
 // is enforced before the grid is built and violations report ErrInvalidSpec.
 func (s *Session) SetMaxShards(n int) { s.maxShards = n }
+
+// SetRunner routes every subsequent Run's shard grid through r instead of
+// the session's in-process worker pool — the seam the dispatch layer plugs
+// into to spread a grid across local and remote backends. A nil r restores
+// the built-in local pool. Shard results and their merge order are
+// runner-independent, so a Report is bit-identical (up to timing fields)
+// whichever runner produced it. Set before the first Run; the field is not
+// synchronized against concurrent Runs.
+func (s *Session) SetRunner(r ShardRunner) { s.runner = r }
 
 // Compiled returns the session-cached compiled program for the named
 // workload, building and compiling it on first use.
@@ -97,15 +107,6 @@ func (s *Session) Run(ctx context.Context, spec *Spec) (*Report, error) {
 			ErrInvalidSpec, nShards, len(norm.Workloads), len(configs), len(norm.Seeds), s.maxShards)
 	}
 
-	compiled := make(map[string]*trace.Compiled, len(norm.Workloads))
-	for _, w := range norm.Workloads {
-		c, err := s.Compiled(w)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
-		}
-		compiled[w] = c
-	}
-
 	var jobs []shardJob
 	for _, w := range norm.Workloads {
 		for _, cfg := range configs {
@@ -115,43 +116,40 @@ func (s *Session) Run(ctx context.Context, spec *Spec) (*Report, error) {
 		}
 	}
 
-	shards := make([]Shard, len(jobs))
-	errs := make([]error, len(jobs))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	workers := s.workers
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	start := time.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				job := &jobs[i]
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					continue
-				}
-				shards[i], errs[i] = runShard(compiled[job.workload], job, norm)
+	// Compile before starting the wall clock, so WallNS (and the derived
+	// sweep throughput) measures execution, not a cold compile cache.
+	// Dispatched runs skip local compilation: each worker compiles from
+	// the wire bytes against its own cache.
+	var compiled map[string]*trace.Compiled
+	if s.runner == nil {
+		compiled = make(map[string]*trace.Compiled, len(norm.Workloads))
+		for _, w := range norm.Workloads {
+			c, err := s.Compiled(w)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 			}
-		}()
-	}
-	for i := range jobs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	wall := time.Since(start)
-
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sim: shard {%s %s seed %d}: %w",
-				jobs[i].workload, jobs[i].cfg.Key(), jobs[i].seed, err)
+			compiled[w] = c
 		}
 	}
+	start := time.Now()
+	var shards []Shard
+	if s.runner != nil {
+		shards, err = s.runDispatched(ctx, norm, jobs)
+	} else {
+		shards, err = s.runLocal(ctx, norm, jobs, compiled)
+	}
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
 
+	// Workers reports the local pool concurrency; a dispatched run's
+	// concurrency belongs to the runner, so the field is 0 there rather
+	// than a fabricated figure.
+	workers := min(s.workers, len(jobs))
+	if s.runner != nil {
+		workers = 0
+	}
 	rep := &Report{
 		Schema:  SchemaV1,
 		Spec:    norm,
@@ -187,10 +185,86 @@ func (s *Session) Run(ctx context.Context, spec *Spec) (*Report, error) {
 	return rep, nil
 }
 
+// runLocal executes the shard grid on the session's in-process worker
+// pool — the default runner. Results land index-aligned with jobs; the
+// context is polled both between shards and, at region granularity,
+// inside each executing shard, so cancellation returns promptly and the
+// session remains reusable afterwards.
+func (s *Session) runLocal(ctx context.Context, norm *Spec, jobs []shardJob, compiled map[string]*trace.Compiled) ([]Shard, error) {
+	shards := make([]Shard, len(jobs))
+	errs := make([]error, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	workers := s.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job := &jobs[i]
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				shards[i], errs[i] = runShard(ctx, compiled[job.workload], job, norm)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: shard {%s %s seed %d}: %w",
+				jobs[i].workload, jobs[i].cfg.Key(), jobs[i].seed, err)
+		}
+	}
+	return shards, nil
+}
+
+// runDispatched hands the shard grid to the configured runner (the
+// dispatch layer) and cross-checks that what came back is the grid that
+// was sent: one shard per job, identity fields matching. Remote results
+// were already decoded to concrete types by the backend, so the merge
+// phase cannot tell them from local ones.
+func (s *Session) runDispatched(ctx context.Context, norm *Spec, jobs []shardJob) ([]Shard, error) {
+	specs := make([]ShardSpec, len(jobs))
+	for i, job := range jobs {
+		specs[i] = ShardSpec{
+			Workload: job.workload,
+			Seed:     job.seed,
+			Insts:    norm.Insts,
+			Engine:   norm.Engine,
+			Observer: job.cfg.Spec(),
+		}
+	}
+	shards, err := s.runner.RunShards(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	if len(shards) != len(jobs) {
+		return nil, fmt.Errorf("sim: runner returned %d shards for %d jobs", len(shards), len(jobs))
+	}
+	for i := range shards {
+		if shards[i].Workload != jobs[i].workload || shards[i].Seed != jobs[i].seed || shards[i].Observer != jobs[i].cfg.Key() {
+			return nil, fmt.Errorf("sim: runner shard %d is {%s %s seed %d}, want {%s %s seed %d}",
+				i, shards[i].Workload, shards[i].Observer, shards[i].Seed,
+				jobs[i].workload, jobs[i].cfg.Key(), jobs[i].seed)
+		}
+	}
+	return shards, nil
+}
+
 // runShard drives one observer configuration over one seeded stream with a
 // fresh executor and a fresh power-on observer instance, so shards are
 // order-independent and the grid is deterministic up to timing fields.
-func runShard(c *trace.Compiled, job *shardJob, spec *Spec) (Shard, error) {
+func runShard(ctx context.Context, c *trace.Compiled, job *shardJob, spec *Spec) (Shard, error) {
 	obs := job.cfg.NewObserver(c.Program())
 	if cl, ok := obs.(interface{ Close() }); ok {
 		// Release observer-owned goroutines even when the run errors
@@ -202,11 +276,14 @@ func runShard(c *trace.Compiled, job *shardJob, spec *Spec) (Shard, error) {
 	var err error
 	if spec.Engine == EngineReference {
 		e = trace.NewExecutor(c.Program(), job.seed)
-		e.Attach(obs)
-		err = e.RunReference(spec.Insts)
 	} else {
 		e = trace.NewCompiledExecutor(c, job.seed)
-		e.Attach(obs)
+	}
+	e.SetContext(ctx)
+	e.Attach(obs)
+	if spec.Engine == EngineReference {
+		err = e.RunReference(spec.Insts)
+	} else {
 		err = e.Run(spec.Insts)
 	}
 	if err != nil {

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"rebalance/internal/wire"
+	"rebalance/internal/workload"
+)
+
+// ShardSpec names one shard of an expanded {workload x seed x
+// observer-config} grid as portable data: the workload and seed, the
+// per-shard instruction budget and engine, and an ObserverSpec that
+// expands to exactly one configuration. It is the request body of the
+// simd worker protocol (POST /v1/shards) and the unit the dispatch layer
+// schedules, retries, and fails over.
+type ShardSpec struct {
+	Workload string       `json:"workload"`
+	Seed     uint64       `json:"seed"`
+	Insts    int64        `json:"insts"`
+	Engine   string       `json:"engine,omitempty"`
+	Observer ObserverSpec `json:"observer"`
+}
+
+// Config validates the shard spec and expands its observer to the single
+// configuration it names. Every failure wraps ErrInvalidSpec.
+func (sp *ShardSpec) Config() (ObserverConfig, error) {
+	if sp == nil {
+		return nil, fmt.Errorf("%w: nil shard spec", ErrInvalidSpec)
+	}
+	if sp.Workload == "" {
+		return nil, fmt.Errorf("%w: no workload", ErrInvalidSpec)
+	}
+	if !workload.Has(sp.Workload) {
+		return nil, fmt.Errorf("%w: unknown workload %q (have %v)", ErrInvalidSpec, sp.Workload, workload.Names())
+	}
+	if sp.Insts < 1 {
+		return nil, fmt.Errorf("%w: non-positive instruction budget %d", ErrInvalidSpec, sp.Insts)
+	}
+	if e := sp.Engine; e != "" && e != EngineCompiled && e != EngineReference {
+		return nil, fmt.Errorf("%w: unknown engine %q (have %q, %q)", ErrInvalidSpec, e, EngineCompiled, EngineReference)
+	}
+	cfgs, err := expandObservers([]ObserverSpec{sp.Observer})
+	if err != nil {
+		return nil, err
+	}
+	if len(cfgs) != 1 {
+		return nil, fmt.Errorf("%w: shard observer expands to %d configurations, want exactly 1", ErrInvalidSpec, len(cfgs))
+	}
+	return cfgs[0], nil
+}
+
+// DecodeShardSpec parses and validates a ShardSpec from JSON. Unknown
+// fields, malformed JSON, and invalid shards all report ErrInvalidSpec.
+func DecodeShardSpec(data []byte) (*ShardSpec, error) {
+	var sp ShardSpec
+	if err := wire.StrictUnmarshal(data, &sp); err != nil {
+		return nil, fmt.Errorf("%w: decoding shard spec: %v", ErrInvalidSpec, err)
+	}
+	if _, err := sp.Config(); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// EncodeShard renders one shard as its wire record — the response body of
+// the worker protocol, identical to the shard entries of a sim/v1 report.
+func EncodeShard(sh Shard) ([]byte, error) { return sh.MarshalJSON() }
+
+// DecodeShard parses a shard wire record produced by EncodeShard (possibly
+// on another machine), decoding the embedded result through cfg — the
+// configuration the shard was dispatched for. The record's identity fields
+// must match the expectation: a worker echoing the wrong shard is a
+// protocol violation, not data.
+func DecodeShard(data []byte, spec ShardSpec, cfg ObserverConfig) (Shard, error) {
+	var w shardWire
+	if err := wire.StrictUnmarshal(data, &w); err != nil {
+		return Shard{}, fmt.Errorf("sim: decoding shard: %w", err)
+	}
+	if w.Workload != spec.Workload || w.Seed != spec.Seed || w.Observer != cfg.Key() {
+		return Shard{}, fmt.Errorf("sim: shard identity mismatch: got {%s %s seed %d}, want {%s %s seed %d}",
+			w.Workload, w.Observer, w.Seed, spec.Workload, cfg.Key(), spec.Seed)
+	}
+	if w.Insts < spec.Insts {
+		return Shard{}, fmt.Errorf("sim: shard {%s %s seed %d} emitted %d < budget %d",
+			w.Workload, w.Observer, w.Seed, w.Insts, spec.Insts)
+	}
+	res, err := cfg.Decode(w.Result)
+	if err != nil {
+		return Shard{}, fmt.Errorf("sim: decoding shard {%s %s seed %d} result: %w", w.Workload, w.Observer, w.Seed, err)
+	}
+	return Shard{
+		Workload:  w.Workload,
+		Seed:      w.Seed,
+		Observer:  w.Observer,
+		Insts:     w.Insts,
+		ElapsedNS: w.ElapsedNS,
+		Result:    res,
+	}, nil
+}
+
+// ShardRunner executes an expanded shard grid and returns the shards in
+// the same order. The Session's built-in runner is its in-process worker
+// pool; SetRunner swaps in the dispatch layer's Dispatcher, which spreads
+// the same grid across local and remote backends. Implementations must
+// return either one Shard per spec (index-aligned) or an error.
+type ShardRunner interface {
+	RunShards(ctx context.Context, shards []ShardSpec) ([]Shard, error)
+}
+
+// RunShard validates and executes a single shard on this process, using
+// the session's compiled-program cache. It is the execution half of the
+// worker protocol: cmd/simd's POST /v1/shards handler and the dispatch
+// layer's LocalBackend are both thin wrappers around it. The context is
+// polled during execution, so a cancelled shard aborts promptly.
+func (s *Session) RunShard(ctx context.Context, spec ShardSpec) (Shard, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return Shard{}, err
+	}
+	c, err := s.Compiled(spec.Workload)
+	if err != nil {
+		return Shard{}, err
+	}
+	norm := &Spec{Insts: spec.Insts, Engine: spec.Engine}
+	if norm.Engine == "" {
+		norm.Engine = EngineCompiled
+	}
+	job := shardJob{workload: spec.Workload, cfg: cfg, seed: spec.Seed}
+	return runShard(ctx, c, &job, norm)
+}

@@ -21,6 +21,7 @@ import (
 	"rebalance/internal/program"
 	"rebalance/internal/registry"
 	"rebalance/internal/trace"
+	"rebalance/internal/wire"
 )
 
 // Result is one observer configuration's measurement over an instruction
@@ -51,7 +52,11 @@ type ShardObserver interface {
 }
 
 // ObserverConfig is one expanded observer configuration — one axis value of
-// the {workload x seed x observer-config} shard grid.
+// the {workload x seed x observer-config} shard grid. A configuration is
+// both executable (NewObserver) and portable: Spec re-describes it as data
+// a remote worker re-expands, and Decode parses the result artifact that
+// worker sends back — together the two halves of the shard wire contract
+// the dispatch layer runs on.
 type ObserverConfig interface {
 	// Key uniquely identifies the configuration within a report, e.g.
 	// "bpred/gshare-big" or "btb/512x4".
@@ -61,6 +66,16 @@ type ObserverConfig interface {
 	// NewResult returns an empty accumulator the Session merges the
 	// configuration's per-seed shard results into.
 	NewResult() Result
+	// Spec re-describes the configuration as an ObserverSpec that expands
+	// (through the registry, on any process) to exactly this configuration —
+	// how a single shard of the grid is named on the wire.
+	Spec() ObserverSpec
+	// Decode parses a Result of this configuration from its canonical JSON
+	// artifact (the bytes EncodeJSON produced, possibly on another
+	// machine). Decode(EncodeJSON(r)) must round-trip exactly: re-encoding
+	// the decoded result yields byte-identical JSON, and merging decoded
+	// results equals merging the in-process originals.
+	Decode(data json.RawMessage) (Result, error)
 }
 
 // ObserverFactory expands one ObserverSpec's options into concrete
@@ -161,7 +176,5 @@ func strictDecode(opts json.RawMessage, v any) error {
 	if len(opts) == 0 || bytes.Equal(bytes.TrimSpace(opts), []byte("null")) {
 		return nil
 	}
-	dec := json.NewDecoder(bytes.NewReader(opts))
-	dec.DisallowUnknownFields()
-	return dec.Decode(v)
+	return wire.StrictUnmarshal(opts, v)
 }

@@ -4,11 +4,22 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+
+	"rebalance/internal/wire"
+	"rebalance/internal/workload"
 )
 
 // ErrInvalidSpec wraps every validation failure so servers can map bad
 // requests to 400s while genuine execution failures stay 500s.
 var ErrInvalidSpec = errors.New("sim: invalid spec")
+
+// maxSeedExpansion is the absolute ceiling on seed_count expansion,
+// applied even when no session shard limit is configured: normalization
+// materializes the seed list (the Report echoes it), so the ceiling is
+// what keeps a tiny hostile spec from allocating an enormous slice or
+// burning arbitrary CPU in validation. 64Ki seeds is far beyond any
+// statistically useful sweep; explicit seed lists are unaffected.
+const maxSeedExpansion = 1 << 16
 
 // Engine names for Spec.Engine.
 const (
@@ -78,6 +89,9 @@ func (s *Spec) normalized(maxSeeds int) (*Spec, error) {
 		if w == "" {
 			return nil, fmt.Errorf("%w: empty workload name", ErrInvalidSpec)
 		}
+		if !workload.Has(w) {
+			return nil, fmt.Errorf("%w: unknown workload %q (have %v)", ErrInvalidSpec, w, workload.Names())
+		}
 		if seenW[w] {
 			return nil, fmt.Errorf("%w: duplicate workload %q", ErrInvalidSpec, w)
 		}
@@ -93,6 +107,13 @@ func (s *Spec) normalized(maxSeeds int) (*Spec, error) {
 		}
 		if maxSeeds > 0 && n > maxSeeds {
 			return nil, fmt.Errorf("%w: seed_count %d exceeds the session's shard limit %d", ErrInvalidSpec, n, maxSeeds)
+		}
+		// Reject absurd expansions before allocating, even with no
+		// session limit: a few bytes of JSON must not be able to
+		// materialize a multi-gigabyte seed slice (DecodeSpec feeds this
+		// path with untrusted input).
+		if n > maxSeedExpansion {
+			return nil, fmt.Errorf("%w: seed_count %d exceeds the expansion limit %d", ErrInvalidSpec, n, maxSeedExpansion)
 		}
 		for i := 1; i <= n; i++ {
 			out.Seeds = append(out.Seeds, uint64(i))
@@ -123,4 +144,31 @@ func (s *Spec) normalized(maxSeeds int) (*Spec, error) {
 		return nil, fmt.Errorf("%w: no observers", ErrInvalidSpec)
 	}
 	return out, nil
+}
+
+// Validate checks the spec without executing it: workload names, seeds,
+// budget, engine, and the full observer expansion. Every failure wraps
+// ErrInvalidSpec. It applies no shard limit; a Session enforces its own
+// limit on Run.
+func (s *Spec) Validate() error {
+	norm, err := s.normalized(0)
+	if err != nil {
+		return err
+	}
+	_, err = expandObservers(norm.Observers)
+	return err
+}
+
+// DecodeSpec parses and validates a Spec from JSON. Unknown fields,
+// malformed JSON, and semantically invalid specs all report ErrInvalidSpec,
+// so servers can map any decode failure to a 400 without inspecting it.
+func DecodeSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := wire.StrictUnmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%w: decoding spec: %v", ErrInvalidSpec, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
 }

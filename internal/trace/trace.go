@@ -23,6 +23,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 
 	"rebalance/internal/isa"
@@ -104,6 +105,9 @@ type Executor struct {
 	// stack holds return addresses for calls in flight (reference engine).
 	stack []isa.Addr
 	err   error
+	// ctx, when set via SetContext, is polled at region granularity so a
+	// cancelled run aborts promptly instead of draining its whole budget.
+	ctx context.Context
 
 	// Compiled-engine state.
 	compiled  *Compiled
@@ -158,6 +162,31 @@ func (e *Executor) Attach(obs ...Observer) {
 // Emitted returns the number of dynamic instructions emitted so far.
 func (e *Executor) Emitted() int64 { return e.emitted }
 
+// SetContext arms run cancellation: both engines poll ctx at region
+// granularity (a few thousand instructions) and abort with ctx.Err() once
+// it is cancelled. The check is an atomic load amortized over a region, so
+// it costs nothing on the hot path. A nil ctx (the default) disables
+// polling. An executor whose run was cancelled is left mid-stream and must
+// not be reused.
+func (e *Executor) SetContext(ctx context.Context) {
+	if ctx == context.Background() || ctx == context.TODO() {
+		ctx = nil // never fires; skip the per-region poll entirely
+	}
+	e.ctx = ctx
+}
+
+// cancelled polls the armed context, recording its error once it fires.
+func (e *Executor) cancelled() bool {
+	if e.ctx == nil {
+		return false
+	}
+	if err := e.ctx.Err(); err != nil {
+		e.fail(err)
+		return true
+	}
+	return false
+}
+
 // SetBatchSize overrides the compiled engine's emission buffer capacity for
 // this executor (default BatchSize). Observer results are invariant to
 // batch boundaries — the batch-size invariance tests pin this down — so the
@@ -211,6 +240,9 @@ func (e *Executor) Run(target int64) error {
 				e.serialIdx = 1
 			}
 			for w := 0; w < r.Weight; w++ {
+				if e.cancelled() {
+					break
+				}
 				e.runOps(e.compiled.regionStart[ri])
 				if e.emitted >= e.budget || e.err != nil {
 					break
@@ -256,6 +288,9 @@ func (e *Executor) RunReference(target int64) error {
 			}
 			e.serial = r.Serial
 			for w := 0; w < r.Weight; w++ {
+				if e.cancelled() {
+					break
+				}
 				e.exec(r.Body)
 				if e.emitted >= e.budget || e.err != nil {
 					break

@@ -1,0 +1,27 @@
+// Package wire holds the one JSON helper every result decoder shares:
+// strict unmarshalling. Result artifacts travel between processes (the
+// dispatch layer folds shards produced by remote simd workers), so a
+// decoder must reject unknown fields and trailing garbage — a mangled or
+// mis-routed artifact has to fail loudly instead of silently dropping
+// counters.
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// StrictUnmarshal decodes exactly one JSON document into v, rejecting
+// unknown fields and trailing data. It never panics on malformed input.
+func StrictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}

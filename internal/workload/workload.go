@@ -58,6 +58,13 @@ func Register(name string, build Builder) {
 // built-in profiles first).
 func Names() []string { return builders.Names() }
 
+// Has reports whether the named workload is registered, without building
+// it — spec validation uses this so checking a name costs nothing.
+func Has(name string) bool {
+	_, ok := builders.Lookup(name)
+	return ok
+}
+
 // Build synthesizes, lays out, and validates the named workload. The same
 // name always produces an identical program.
 func Build(name string) (*program.Program, error) {
