@@ -82,10 +82,15 @@ type calibration struct {
 }
 
 type report struct {
-	Schema        string           `json:"schema"`
-	GoVersion     string           `json:"go_version"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS and Workers describe this process's local pool. A
+	// dispatched run's concurrency lives on the workers, so Workers is 0
+	// there and Dispatched labels the run explicitly — per-worker rates
+	// must never be derived from a zero worker count.
 	GOMAXPROCS    int              `json:"gomaxprocs"`
 	Workers       int              `json:"workers"`
+	Dispatched    bool             `json:"dispatched,omitempty"`
 	InstsPerShard int64            `json:"insts_per_shard"`
 	Workloads     []string         `json:"workloads"`
 	Seeds         int              `json:"seeds"`
@@ -94,7 +99,10 @@ type report struct {
 	TotalInsts    int64            `json:"total_insts"`
 	WallNS        int64            `json:"wall_ns"`
 	SweepMInstsPS float64          `json:"sweep_minsts_per_sec"`
-	Calibration   *calibration     `json:"calibration,omitempty"`
+	// PerWorkerMInstsPS is the sweep rate divided by the local pool size;
+	// 0 (omitted) for dispatched runs, where the divisor is meaningless.
+	PerWorkerMInstsPS float64      `json:"per_worker_minsts_per_sec,omitempty"`
+	Calibration       *calibration `json:"calibration,omitempty"`
 }
 
 func main() {
@@ -167,7 +175,7 @@ func run(workloadsCSV string, seeds int, insts int64, workers int, calibInsts in
 		return err
 	}
 
-	rep, err := buildReport(simRep)
+	rep, err := buildReport(simRep, backendsCSV != "")
 	if err != nil {
 		return err
 	}
@@ -196,8 +204,9 @@ func run(workloadsCSV string, seeds int, insts int64, workers int, calibInsts in
 }
 
 // buildReport reshapes a sim/v1 report of bpred shards into the
-// rebalance-bench/v1 record.
-func buildReport(simRep *sim.Report) (*report, error) {
+// rebalance-bench/v1 record. dispatched marks a sweep that ran on remote
+// backends (-backends), where simRep.Workers is 0 by contract.
+func buildReport(simRep *sim.Report, dispatched bool) (*report, error) {
 	shards := make([]benchShard, 0, len(simRep.Shards))
 	for i := range simRep.Shards {
 		sh := &simRep.Shards[i]
@@ -278,6 +287,7 @@ func buildReport(simRep *sim.Report) (*report, error) {
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Workers:       simRep.Workers,
+		Dispatched:    dispatched,
 		InstsPerShard: simRep.Spec.Insts,
 		Workloads:     simRep.Spec.Workloads,
 		Seeds:         len(simRep.Spec.Seeds),
@@ -288,6 +298,13 @@ func buildReport(simRep *sim.Report) (*report, error) {
 	}
 	if simRep.WallNS > 0 {
 		rep.SweepMInstsPS = float64(rep.TotalInsts) / (float64(simRep.WallNS) / 1e9) / 1e6
+	}
+	// Per-worker throughput only exists for a local pool: a dispatched
+	// run reports Workers == 0, and dividing by it would be a zero
+	// divisor (or, with a stale fallback, nonsense attributed to this
+	// process).
+	if !dispatched && rep.Workers > 0 {
+		rep.PerWorkerMInstsPS = rep.SweepMInstsPS / float64(rep.Workers)
 	}
 	return rep, nil
 }

@@ -52,7 +52,7 @@ func TestReportGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := buildReport(simRep)
+	rep, err := buildReport(simRep, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,6 +71,7 @@ func TestReportGolden(t *testing.T) {
 	rep.Workers = 0
 	rep.WallNS = 0
 	rep.SweepMInstsPS = 0
+	rep.PerWorkerMInstsPS = 0
 	for i := range rep.Shards {
 		rep.Shards[i].ElapsedNS = 0
 		rep.Shards[i].MInstsPerSec = 0
@@ -108,7 +109,7 @@ func TestBackendsDispatchMatchesLocal(t *testing.T) {
 	w2 := httptest.NewServer(dispatch.WorkerHandler(sim.NewSession(1), 0))
 	defer w2.Close()
 
-	normalize := func(path string) []byte {
+	readReport := func(path string) report {
 		t.Helper()
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -118,11 +119,18 @@ func TestBackendsDispatchMatchesLocal(t *testing.T) {
 		if err := json.Unmarshal(data, &rep); err != nil {
 			t.Fatal(err)
 		}
+		return rep
+	}
+	normalize := func(path string) []byte {
+		t.Helper()
+		rep := readReport(path)
 		rep.GoVersion = ""
 		rep.GOMAXPROCS = 0
 		rep.Workers = 0
+		rep.Dispatched = false
 		rep.WallNS = 0
 		rep.SweepMInstsPS = 0
+		rep.PerWorkerMInstsPS = 0
 		for i := range rep.Shards {
 			rep.Shards[i].ElapsedNS = 0
 			rep.Shards[i].MInstsPerSec = 0
@@ -150,6 +158,25 @@ func TestBackendsDispatchMatchesLocal(t *testing.T) {
 	if string(local) != string(remote) {
 		t.Errorf("dispatched sweep differs from local sweep:\nlocal:\n%s\nremote:\n%s", local, remote)
 	}
+
+	// The dispatched-run labeling satellite: a dispatched report says so
+	// explicitly, carries no local worker count, and never fabricates a
+	// per-worker rate from the zero; the local report derives one from its
+	// real pool.
+	localRep, remoteRep := readReport(localOut), readReport(remoteOut)
+	if localRep.Dispatched {
+		t.Error("local sweep labeled dispatched")
+	}
+	if localRep.Workers < 1 || localRep.PerWorkerMInstsPS <= 0 {
+		t.Errorf("local sweep: workers=%d per_worker=%v, want a real pool rate", localRep.Workers, localRep.PerWorkerMInstsPS)
+	}
+	if !remoteRep.Dispatched {
+		t.Error("dispatched sweep not labeled dispatched")
+	}
+	if remoteRep.Workers != 0 || remoteRep.PerWorkerMInstsPS != 0 {
+		t.Errorf("dispatched sweep: workers=%d per_worker=%v, want 0/0 (the concurrency belongs to the backends)",
+			remoteRep.Workers, remoteRep.PerWorkerMInstsPS)
+	}
 }
 
 // TestAggregateConsistency checks the merged MPKI comes from exact pooled
@@ -165,7 +192,7 @@ func TestAggregateConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := buildReport(simRep)
+	rep, err := buildReport(simRep, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,7 +19,15 @@
 //	GET  /v1/workloads   enumerate the workload registry
 //	GET  /v1/predictors  enumerate the predictor-config registry with costs
 //	GET  /v1/observers   enumerate the observer-kind registry
+//	GET  /v1/cache/stats shard result cache counters (hits/misses/evictions/bytes)
 //	GET  /healthz        liveness probe
+//
+// Shard results are cached by content address (see internal/sim/shardcache):
+// re-requesting a shard the process has already computed — common in
+// characterization sweeps that revisit {workload x seed x config} grids —
+// serves the stored record and marks the shard "cached" in responses.
+// -cache-entries/-cache-bytes bound the in-memory tier (0 entries disables
+// caching); -cache-dir adds a disk tier that survives restarts.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight runs (http.Server.Shutdown) before exiting, so killing a
@@ -30,6 +38,7 @@
 //
 //	simd [-addr :8080] [-worker] [-workers N] [-max-insts 100000000]
 //	     [-max-shards 4096] [-drain 30s]
+//	     [-cache-entries 4096] [-cache-bytes 268435456] [-cache-dir DIR]
 package main
 
 import (
@@ -50,6 +59,7 @@ import (
 	"rebalance/internal/bpred"
 	"rebalance/internal/sim"
 	"rebalance/internal/sim/dispatch"
+	"rebalance/internal/sim/shardcache"
 	"rebalance/internal/workload"
 )
 
@@ -65,10 +75,26 @@ func main() {
 		maxInstsFlag  = flag.Int64("max-insts", 100_000_000, "reject specs with a larger per-shard instruction budget (0 = unlimited)")
 		maxShardsFlag = flag.Int("max-shards", 4096, "reject specs expanding to more shards than this (0 = unlimited)")
 		drainFlag     = flag.Duration("drain", 30*time.Second, "in-flight drain budget on SIGINT/SIGTERM")
+		cacheEntsFlag = flag.Int("cache-entries", 4096, "shard result cache: max in-memory entries (0 disables the cache)")
+		cacheByteFlag = flag.Int64("cache-bytes", 256<<20, "shard result cache: max in-memory payload bytes")
+		cacheDirFlag  = flag.String("cache-dir", "", "shard result cache: directory for the persistent disk tier (empty = memory only)")
 	)
 	flag.Parse()
 	sess := sim.NewSession(*workersFlag)
 	sess.SetMaxShards(*maxShardsFlag)
+	var cache *shardcache.Cache
+	if *cacheEntsFlag > 0 {
+		var err error
+		cache, err = shardcache.New(shardcache.Options{
+			MaxEntries: *cacheEntsFlag,
+			MaxBytes:   *cacheByteFlag,
+			Dir:        *cacheDirFlag,
+		})
+		if err != nil {
+			log.Fatalf("simd: %v", err)
+		}
+		sess.SetCache(cache)
+	}
 	ln, err := net.Listen("tcp", *addrFlag)
 	if err != nil {
 		log.Fatalf("simd: %v", err)
@@ -112,10 +138,18 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 
 // newServer builds the simd handler around a shared session. worker mode
 // withholds the coordinator run endpoint and serves only the shard
-// protocol plus the registry listings. Split from main so tests drive it
-// through httptest.
+// protocol plus the registry listings and cache stats. Split from main so
+// tests drive it through httptest.
 func newServer(sess *sim.Session, maxInsts int64, worker bool) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cache/stats", func(w http.ResponseWriter, r *http.Request) {
+		cache := sess.Cache()
+		if cache == nil {
+			writeJSON(w, http.StatusOK, map[string]any{"enabled": false, "stats": shardcache.Stats{}})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": true, "stats": cache.Stats()})
+	})
 	if !worker {
 		mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
 			handleRun(w, r, sess, maxInsts)

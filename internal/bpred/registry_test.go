@@ -1,0 +1,35 @@
+package bpred
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegisterConfigDuplicatePanics pins the registry contract for
+// predictor configurations: a duplicate name must fail loudly with the
+// name, never silently shadow the standard grid entry.
+func TestRegisterConfigDuplicatePanics(t *testing.T) {
+	name := ConfigNames()[0] // a standard config registered at init
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, `"`+name+`"`) {
+			t.Fatalf("panic = %v, want a message naming the duplicate config %q", r, name)
+		}
+		// The original must still resolve.
+		if _, err := NewByName(name); err != nil {
+			t.Errorf("original config lost after rejected duplicate: %v", err)
+		}
+	}()
+	RegisterConfig(name, func() Predictor { return nil })
+	t.Fatal("duplicate RegisterConfig did not panic")
+}
+
+func TestRegisterConfigNilFactoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil factory did not panic")
+		}
+	}()
+	RegisterConfig("bpred-test-nil-factory", nil)
+}

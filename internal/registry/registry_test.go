@@ -1,0 +1,60 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, wantSubstr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("want panic containing %q, got none", wantSubstr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, wantSubstr) {
+			t.Fatalf("panic = %v, want message containing %q", r, wantSubstr)
+		}
+	}()
+	f()
+}
+
+func TestRegisterLookupOrder(t *testing.T) {
+	r := New[int]("widget")
+	r.Register("b", 2)
+	r.Register("a", 1)
+	if got := r.Names(); len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Errorf("Names() = %v, want registration order [b a]", got)
+	}
+	if v, ok := r.Lookup("a"); !ok || v != 1 {
+		t.Errorf("Lookup(a) = %d, %v", v, ok)
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Error("Lookup(missing) reported ok")
+	}
+	if _, err := r.Get("missing"); err == nil || !strings.Contains(err.Error(), "widget") || !strings.Contains(err.Error(), "b") {
+		t.Errorf("Get(missing) error should name the kind and list entries: %v", err)
+	}
+}
+
+// TestDuplicateRegistrationPanics pins the loud-failure contract: a
+// duplicate name is a programming error and must panic with the name —
+// never silently shadow the earlier registration.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := New[int]("widget")
+	r.Register("dup", 1)
+	mustPanic(t, `widget "dup" registered twice`, func() { r.Register("dup", 2) })
+	// The failed duplicate must not have clobbered the original.
+	if v, _ := r.Lookup("dup"); v != 1 {
+		t.Errorf("duplicate registration shadowed the original: got %d", v)
+	}
+	if got := r.Names(); len(got) != 1 {
+		t.Errorf("Names() = %v after rejected duplicate, want [dup]", got)
+	}
+}
+
+func TestEmptyNamePanics(t *testing.T) {
+	r := New[int]("widget")
+	mustPanic(t, "empty name", func() { r.Register("", 1) })
+}

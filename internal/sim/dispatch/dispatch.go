@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"rebalance/internal/sim"
+	"rebalance/internal/sim/shardcache"
 )
 
 // Backend executes one shard. Implementations must be safe for concurrent
@@ -79,6 +80,16 @@ type Options struct {
 	// instruction — over an order of magnitude above real shard rates);
 	// negative disables the bound entirely.
 	AttemptTimeout time.Duration
+	// Cache, when non-nil, is consulted by content address before a shard
+	// spends a backend slot, and results fetched from backends are written
+	// back — so a coordinator re-running overlapping grids stops re-paying
+	// workers for shards it has already seen. Cached shards are returned
+	// with Cached set. Sharing one cache between the Dispatcher and a
+	// LocalBackend's session is safe for correctness (writes are
+	// idempotent for a key), but each layer counts its own lookups, so a
+	// cold shard then records a miss at both; give the layers separate
+	// caches when per-layer hit rates matter.
+	Cache *shardcache.Cache
 }
 
 // Dispatcher schedules shard grids over a fixed set of backends. It
@@ -219,7 +230,28 @@ func (d *Dispatcher) attemptTimeout(spec sim.ShardSpec) time.Duration {
 // dispatcher-wide slot is held only while a backend call is in flight —
 // never across a backoff sleep — so one shard retrying against a flaky
 // backend cannot stall others that could run on healthy idle backends.
+// With a cache configured, the shard's content address is consulted
+// before any slot is taken, and a fetched result is written back.
 func (d *Dispatcher) runOne(ctx context.Context, spec sim.ShardSpec) (sim.Shard, error) {
+	var cacheKey string
+	if d.opts.Cache != nil {
+		cfg, err := spec.Config()
+		if err != nil {
+			// The spec is unrunnable on any backend; same no-retry exit the
+			// attempt loop would take.
+			return sim.Shard{}, err
+		}
+		cacheKey = sim.ShardCacheKey(spec, cfg)
+		if data, ok := d.opts.Cache.Get(cacheKey); ok {
+			if sh, err := sim.DecodeShard(data, spec, cfg); err == nil {
+				sh.Cached = true
+				return sh, nil
+			}
+			// The stored record no longer decodes; drop it and fall through
+			// to a real backend attempt.
+			d.opts.Cache.Remove(cacheKey)
+		}
+	}
 	var lastErr error
 	var lastBackend *backendState
 	for attempt := 0; attempt < d.opts.Attempts; attempt++ {
@@ -243,6 +275,16 @@ func (d *Dispatcher) runOne(ctx context.Context, spec sim.ShardSpec) (sim.Shard,
 		sh, bs, err := d.attemptOne(ctx, spec, lastBackend)
 		<-d.sem
 		if err == nil {
+			if d.opts.Cache != nil {
+				// Write back the canonical cold record: strip the serving
+				// backend's own cache mark so stored bytes are identical
+				// whichever tier produced them.
+				cold := sh
+				cold.Cached = false
+				if enc, err := sim.EncodeShard(cold); err == nil {
+					d.opts.Cache.Put(cacheKey, enc)
+				}
+			}
 			return sh, nil
 		}
 		if ctx.Err() != nil {

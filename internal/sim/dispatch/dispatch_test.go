@@ -374,6 +374,7 @@ func runGoldenDispatched(t *testing.T, backends []dispatch.Backend, opts dispatc
 	rep.Workers = 0
 	for i := range rep.Shards {
 		rep.Shards[i].ElapsedNS = 0
+		rep.Shards[i].Cached = false
 	}
 	got, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

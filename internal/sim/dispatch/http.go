@@ -106,7 +106,11 @@ func WorkerHandler(sess *sim.Session, maxInsts int64) http.Handler {
 		const maxShardSpecBytes = 1 << 20
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxShardSpecBytes))
 		if err != nil {
-			writeShardError(w, http.StatusBadRequest, fmt.Errorf("reading shard spec: %w", err))
+			// A failed body read is a transport problem, not a judgment on
+			// the spec. It must NOT be a 400: the coordinator maps 400 to
+			// sim.ErrInvalidSpec and permanently fails the shard, whereas a
+			// 500 is retried and failed over like any backend fault.
+			writeShardError(w, http.StatusInternalServerError, fmt.Errorf("reading shard spec: %w", err))
 			return
 		}
 		spec, err := sim.DecodeShardSpec(body)

@@ -1,0 +1,246 @@
+package dispatch_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rebalance/internal/sim"
+	"rebalance/internal/sim/dispatch"
+	"rebalance/internal/sim/shardcache"
+)
+
+// stubWorker serves a fixed status and body for every shard request,
+// counting the requests it sees — the cross-the-wire half of the
+// dispatcher's blame rules.
+func stubWorker(t *testing.T, status int, body string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+// TestWorkerStatusBlameMapping is the satellite regression test: a
+// worker's 400 must decode back to sim.ErrInvalidSpec on the client so
+// the never-retry rule holds across the wire, while 500/503 must stay
+// ordinary retryable backend failures.
+func TestWorkerStatusBlameMapping(t *testing.T) {
+	cases := []struct {
+		name        string
+		status      int
+		body        string
+		wantInvalid bool
+	}{
+		{"400 json error", http.StatusBadRequest, `{"error":"sim: invalid spec: no workload"}`, true},
+		{"400 opaque body", http.StatusBadRequest, `not json at all`, true},
+		{"500", http.StatusInternalServerError, `{"error":"executor exploded"}`, false},
+		{"503", http.StatusServiceUnavailable, `overloaded`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, _ := stubWorker(t, tc.status, tc.body)
+			_, err := dispatch.NewHTTPBackend(srv.URL, nil).RunShard(context.Background(), testSpec(1))
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if got := errors.Is(err, sim.ErrInvalidSpec); got != tc.wantInvalid {
+				t.Errorf("errors.Is(err, ErrInvalidSpec) = %v, want %v (err: %v)", got, tc.wantInvalid, err)
+			}
+		})
+	}
+}
+
+// TestWorker400NotRetriedNotBlamed drives the stub through a full
+// Dispatcher: a 400 response is never retried and leaves the backend
+// healthy — rejecting unrunnable shards is the worker doing its job.
+func TestWorker400NotRetriedNotBlamed(t *testing.T) {
+	srv, calls := stubWorker(t, http.StatusBadRequest, `{"error":"sim: invalid spec: bad shard"}`)
+	d, err := dispatch.New([]dispatch.Backend{dispatch.NewHTTPBackend(srv.URL, nil)}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1)}); !errors.Is(err, sim.ErrInvalidSpec) {
+			t.Fatalf("want ErrInvalidSpec, got %v", err)
+		}
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("worker saw %d requests for 4 runs, want 4 (no retries)", got)
+	}
+	if healthy := d.Healthy(); len(healthy) != 1 {
+		t.Errorf("400 responses marked the worker dead: healthy = %v", healthy)
+	}
+}
+
+// TestWorker5xxRetriedAndBlamed: 500/503 responses burn the retry budget
+// and count toward the worker's consecutive-failure death.
+func TestWorker5xxRetriedAndBlamed(t *testing.T) {
+	for _, status := range []int{http.StatusInternalServerError, http.StatusServiceUnavailable} {
+		t.Run(fmt.Sprint(status), func(t *testing.T) {
+			srv, calls := stubWorker(t, status, `{"error":"transient"}`)
+			d, err := dispatch.New([]dispatch.Backend{dispatch.NewHTTPBackend(srv.URL, nil)}, fastOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1)})
+			if err == nil || errors.Is(err, sim.ErrInvalidSpec) {
+				t.Fatalf("want a retryable backend error, got %v", err)
+			}
+			if got := calls.Load(); got != 3 {
+				t.Errorf("worker saw %d requests, want 3 (full attempt budget)", got)
+			}
+			if healthy := d.Healthy(); len(healthy) != 0 {
+				t.Errorf("three %d responses left the worker healthy: %v", status, healthy)
+			}
+		})
+	}
+}
+
+// TestWorkerBodyReadErrorIsRetryable pins the worker-side half of the
+// blame fix: a request whose body dies mid-read must produce a 5xx (a
+// retryable backend fault), never the 400 that would permanently fail the
+// shard at the coordinator.
+func TestWorkerBodyReadErrorIsRetryable(t *testing.T) {
+	h := dispatch.WorkerHandler(sim.NewSession(1), 0)
+	req := httptest.NewRequest(http.MethodPost, dispatch.ShardsPath, errReader{})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code == http.StatusBadRequest {
+		t.Fatalf("body read failure answered 400; the coordinator would map it to ErrInvalidSpec and never retry")
+	}
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+}
+
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, fmt.Errorf("connection reset") }
+
+// countingWrapper counts RunShard calls that reach the wrapped backend.
+type countingWrapper struct {
+	inner dispatch.Backend
+	calls atomic.Int64
+}
+
+func (c *countingWrapper) Name() string { return c.inner.Name() }
+
+func (c *countingWrapper) RunShard(ctx context.Context, spec sim.ShardSpec) (sim.Shard, error) {
+	c.calls.Add(1)
+	return c.inner.RunShard(ctx, spec)
+}
+
+// TestDispatcherCacheServesRepeats: with Options.Cache set, a repeated
+// grid costs zero backend calls on the second pass, shards come back
+// marked Cached, and the results are byte-identical to the first pass.
+func TestDispatcherCacheServesRepeats(t *testing.T) {
+	w := newWorker(t)
+	cb := &countingWrapper{inner: dispatch.NewHTTPBackend(w.URL, nil)}
+	cache, err := shardcache.New(shardcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOpts()
+	opts.Cache = cache
+	d, err := dispatch.New([]dispatch.Backend{cb}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []sim.ShardSpec{testSpec(1), testSpec(2), testSpec(3)}
+
+	cold, err := d.RunShards(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldCalls := cb.calls.Load()
+	if coldCalls != int64(len(specs)) {
+		t.Fatalf("cold pass made %d backend calls, want %d", coldCalls, len(specs))
+	}
+	warm, err := d.RunShards(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cb.calls.Load(); got != coldCalls {
+		t.Errorf("warm pass reached the backend %d more times, want 0", got-coldCalls)
+	}
+	for i := range warm {
+		if !warm[i].Cached {
+			t.Errorf("warm shard %d not marked cached", i)
+		}
+		if cold[i].Cached {
+			t.Errorf("cold shard %d marked cached", i)
+		}
+		a, err1 := cold[i].Result.EncodeJSON()
+		b, err2 := warm[i].Result.EncodeJSON()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if string(a) != string(b) {
+			t.Errorf("shard %d: cached result differs from backend result", i)
+		}
+	}
+	if s := cache.Stats(); s.Hits < int64(len(specs)) || s.Misses < int64(len(specs)) {
+		t.Errorf("cache stats = %+v, want >= %d hits and misses", s, len(specs))
+	}
+}
+
+// TestDispatcherCacheInvalidSpecStillFailsFast: the cache path must not
+// swallow the ErrInvalidSpec contract.
+func TestDispatcherCacheInvalidSpecStillFailsFast(t *testing.T) {
+	cache, err := shardcache.New(shardcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &fakeBackend{name: "never"}
+	opts := fastOpts()
+	opts.Cache = cache
+	d, err := dispatch.New([]dispatch.Backend{b}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := testSpec(1)
+	bad.Workload = "no-such"
+	if _, err := d.RunShards(context.Background(), []sim.ShardSpec{bad}); !errors.Is(err, sim.ErrInvalidSpec) {
+		t.Fatalf("want ErrInvalidSpec, got %v", err)
+	}
+	if b.calls.Load() != 0 {
+		t.Error("invalid spec reached a backend")
+	}
+}
+
+// TestDispatcherCacheGoldenIdentical reruns the golden grid through a
+// cache-backed dispatcher twice; both passes must render the repository
+// golden bytes (the Cached marks are normalized like timing fields).
+func TestDispatcherCacheGoldenIdentical(t *testing.T) {
+	w := newWorker(t)
+	cache, err := shardcache.New(shardcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []dispatch.Backend{dispatch.NewHTTPBackend(w.URL, nil)}
+	opts := dispatch.Options{MaxInFlight: 4, Backoff: time.Millisecond, Cache: cache}
+	want := readGolden(t)
+	for pass, label := range []string{"cold", "warm"} {
+		got := runGoldenDispatched(t, backends, opts)
+		if string(got) != string(want) {
+			t.Errorf("%s cache-backed dispatch differs from the all-local golden;\ngot:\n%s", label, got)
+		}
+		if pass == 1 {
+			if s := cache.Stats(); s.Hits == 0 {
+				t.Errorf("warm pass reported no cache hits: %+v", s)
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+// Duplicate-registration behavior for the observer-kind registry, pinned
+// alongside the matching tests in internal/workload and internal/bpred:
+// every registry fails loudly and names the collision.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegisterObserverDuplicatePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, `"bpred"`) {
+			t.Fatalf("panic = %v, want a message naming the duplicate kind %q", r, "bpred")
+		}
+	}()
+	RegisterObserver("bpred", func(json.RawMessage) ([]ObserverConfig, error) { return nil, nil })
+	t.Fatal("duplicate RegisterObserver did not panic")
+}
+
+func TestRegisterObserverNilFactoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil factory did not panic")
+		}
+	}()
+	RegisterObserver("sim-test-nil-factory", nil)
+}

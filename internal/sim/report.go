@@ -30,13 +30,18 @@ type Report struct {
 	WallNS     int64    `json:"wall_ns"`
 }
 
-// Shard is one {workload, seed, observer-config} measurement.
+// Shard is one {workload, seed, observer-config} measurement. Cached
+// marks a shard served from a result cache (shardcache) rather than
+// computed for this run; everything else about it — counters, result
+// encoding, identity — is bit-identical to a cold shard, so consumers may
+// treat the mark like a timing field.
 type Shard struct {
 	Workload  string
 	Seed      uint64
 	Observer  string
 	Insts     int64
 	ElapsedNS int64
+	Cached    bool
 	Result    Result
 }
 
@@ -57,6 +62,7 @@ type shardWire struct {
 	Observer  string          `json:"observer"`
 	Insts     int64           `json:"insts"`
 	ElapsedNS int64           `json:"elapsed_ns"`
+	Cached    bool            `json:"cached,omitempty"`
 	Result    json.RawMessage `json:"result"`
 }
 
@@ -84,7 +90,7 @@ func (sh Shard) MarshalJSON() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(shardWire{sh.Workload, sh.Seed, sh.Observer, sh.Insts, sh.ElapsedNS, res})
+	return json.Marshal(shardWire{sh.Workload, sh.Seed, sh.Observer, sh.Insts, sh.ElapsedNS, sh.Cached, res})
 }
 
 // MarshalJSON implements json.Marshaler.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"rebalance/internal/sim/shardcache"
 	"rebalance/internal/trace"
 	"rebalance/internal/workload"
 )
@@ -19,6 +20,7 @@ type Session struct {
 	workers   int
 	maxShards int
 	runner    ShardRunner
+	cache     *shardcache.Cache
 
 	mu       sync.Mutex
 	compiled map[string]*compileEntry
@@ -209,7 +211,7 @@ func (s *Session) runLocal(ctx context.Context, norm *Spec, jobs []shardJob, com
 					errs[i] = err
 					continue
 				}
-				shards[i], errs[i] = runShard(ctx, compiled[job.workload], job, norm)
+				shards[i], errs[i] = s.cachedShard(ctx, compiled[job.workload], job, norm)
 			}
 		}()
 	}

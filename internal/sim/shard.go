@@ -95,6 +95,7 @@ func DecodeShard(data []byte, spec ShardSpec, cfg ObserverConfig) (Shard, error)
 		Observer:  w.Observer,
 		Insts:     w.Insts,
 		ElapsedNS: w.ElapsedNS,
+		Cached:    w.Cached,
 		Result:    res,
 	}, nil
 }
@@ -127,5 +128,5 @@ func (s *Session) RunShard(ctx context.Context, spec ShardSpec) (Shard, error) {
 		norm.Engine = EngineCompiled
 	}
 	job := shardJob{workload: spec.Workload, cfg: cfg, seed: spec.Seed}
-	return runShard(ctx, c, &job, norm)
+	return s.cachedShard(ctx, c, &job, norm)
 }

@@ -1,0 +1,387 @@
+package shardcache
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mustNew(t *testing.T, opts Options) *Cache {
+	t.Helper()
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := mustNew(t, Options{})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("k1", []byte("v1"))
+	got, ok := c.Get("k1")
+	if !ok || string(got) != "v1" {
+		t.Fatalf("Get(k1) = %q, %v", got, ok)
+	}
+	c.Put("k1", []byte("v1-replaced"))
+	got, _ = c.Get("k1")
+	if string(got) != "v1-replaced" {
+		t.Fatalf("replaced value not served: %q", got)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 2 hits / 1 miss / 1 entry", s)
+	}
+	if s.Bytes != int64(len("v1-replaced")) {
+		t.Errorf("bytes = %d after replacement, want %d", s.Bytes, len("v1-replaced"))
+	}
+}
+
+func TestLRUEvictionByEntries(t *testing.T) {
+	c := mustNew(t, Options{MaxEntries: 3})
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	c.Get("k0") // refresh k0: k1 is now the coldest
+	c.Put("k3", []byte{3})
+	if _, ok := c.Get("k1"); ok {
+		t.Error("coldest entry k1 survived eviction")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s was evicted, want k1", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 3 {
+		t.Errorf("stats = %+v, want 1 eviction / 3 entries", s)
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	c := mustNew(t, Options{MaxBytes: 10})
+	c.Put("a", []byte("aaaa")) // 4 bytes
+	c.Put("b", []byte("bbbb")) // 8 bytes
+	c.Put("c", []byte("cccc")) // 12 -> evict a
+	if _, ok := c.Get("a"); ok {
+		t.Error("oldest entry survived byte-bound eviction")
+	}
+	if s := c.Stats(); s.Bytes > 10 {
+		t.Errorf("bytes = %d exceeds bound 10", s.Bytes)
+	}
+	// An oversized value must not wipe the tier to admit itself.
+	c.Put("huge", make([]byte, 64))
+	if _, ok := c.Get("b"); !ok {
+		t.Error("oversized value evicted resident entries")
+	}
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversized value was admitted to the memory tier")
+	}
+}
+
+func TestDiskTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1 := mustNew(t, Options{Dir: dir})
+	c1.Put("sc1-abc", []byte("payload"))
+
+	// A fresh cache over the same directory — the restart scenario.
+	c2 := mustNew(t, Options{Dir: dir})
+	got, ok := c2.Get("sc1-abc")
+	if !ok || string(got) != "payload" {
+		t.Fatalf("disk tier miss after restart: %q, %v", got, ok)
+	}
+	if s := c2.Stats(); s.DiskHits != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want the hit attributed to disk", s)
+	}
+	// The disk hit was promoted: a second Get is a memory hit.
+	if _, ok := c2.Get("sc1-abc"); !ok {
+		t.Fatal("promoted entry missing from memory tier")
+	}
+	if s := c2.Stats(); s.DiskHits != 1 {
+		t.Errorf("second hit went to disk again: %+v", s)
+	}
+}
+
+func TestCorruptDiskEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := mustNew(t, Options{Dir: dir})
+	c.Put("key1", []byte("payload"))
+
+	corrupt := func(mutate func(p string)) {
+		t.Helper()
+		mutate(filepath.Join(dir, "key1"))
+		fresh := mustNew(t, Options{Dir: dir})
+		if _, ok := fresh.Get("key1"); ok {
+			t.Error("corrupt disk entry served as a hit")
+		}
+		if _, err := os.Stat(filepath.Join(dir, "key1")); !os.IsNotExist(err) {
+			t.Error("corrupt disk entry was not deleted")
+		}
+	}
+	// Flipped payload byte: checksum mismatch.
+	corrupt(func(p string) {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0xff
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Truncated below the checksum length.
+	c.Put("key1", []byte("payload"))
+	corrupt(func(p string) {
+		if err := os.WriteFile(p, []byte("short"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestOrphanedTempFilesSweptAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	mustNew(t, Options{Dir: dir}).Put("keep", []byte("v"))
+	if err := os.WriteFile(filepath.Join(dir, "keep-12345.tmp"), []byte("torn"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	mustNew(t, Options{Dir: dir}) // restart: crash leftovers are swept
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "keep" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Errorf("dir after restart = %v, want only the completed entry", names)
+	}
+}
+
+func TestHostileKeysSkipDisk(t *testing.T) {
+	dir := t.TempDir()
+	c := mustNew(t, Options{Dir: dir})
+	for _, key := range []string{"", ".", "..", "a/b", `a\b`, "x.tmp"} {
+		c.Put(key, []byte("v"))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if strings.Contains(e.Name(), "v") || e.Name() == key {
+				t.Errorf("hostile key %q reached the disk tier as %q", key, e.Name())
+			}
+		}
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	c := mustNew(t, Options{})
+	var computes atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const followers = 7
+	results := make([][]byte, followers+1)
+	errs := make([]error, followers+1)
+	hits := make([]bool, followers+1)
+	var wg sync.WaitGroup
+	run := func(i int) {
+		defer wg.Done()
+		results[i], hits[i], errs[i] = c.Do(context.Background(), "key", func() ([]byte, error) {
+			computes.Add(1)
+			close(started)
+			<-release
+			return []byte("value"), nil
+		})
+	}
+	wg.Add(1)
+	go run(0)
+	<-started // the leader is inside compute; everyone else must wait on it
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times for one key, want exactly 1", n)
+	}
+	nHits := 0
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if string(results[i]) != "value" {
+			t.Errorf("caller %d got %q", i, results[i])
+		}
+		if hits[i] {
+			nHits++
+		}
+	}
+	if nHits != followers {
+		t.Errorf("%d callers reported a hit, want %d (everyone but the leader)", nHits, followers)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != followers {
+		t.Errorf("stats = %+v, want 1 miss / %d hits", s, followers)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := mustNew(t, Options{Dir: t.TempDir()})
+	boom := fmt.Errorf("boom")
+	if _, _, err := c.Do(context.Background(), "key", func() ([]byte, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failure must not have been cached in either tier.
+	var computes atomic.Int64
+	val, hit, err := c.Do(context.Background(), "key", func() ([]byte, error) {
+		computes.Add(1)
+		return []byte("ok"), nil
+	})
+	if err != nil || hit || string(val) != "ok" || computes.Load() != 1 {
+		t.Fatalf("recompute after error: val=%q hit=%v err=%v computes=%d", val, hit, err, computes.Load())
+	}
+}
+
+// TestDoFollowerHonorsOwnContext: a follower blocked on an in-flight
+// compute must return promptly when its own context is cancelled, not
+// sit out the leader's compute.
+func TestDoFollowerHonorsOwnContext(t *testing.T) {
+	c := mustNew(t, Options{})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(context.Background(), "key", func() ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("v"), nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "key", func() ([]byte, error) { return []byte("v"), nil })
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("follower returned %v, want its own context.Canceled", err)
+	}
+	close(release) // leader completes normally afterwards
+}
+
+// TestDoFollowerSurvivesLeaderFailure: a leader's error — e.g. its own
+// cancelled context aborting the compute — must not poison followers;
+// the follower re-enters and computes under its own context.
+func TestDoFollowerSurvivesLeaderFailure(t *testing.T) {
+	c := mustNew(t, Options{})
+	leaderStarted := make(chan struct{})
+	leaderFail := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "key", func() ([]byte, error) {
+			close(leaderStarted)
+			<-leaderFail
+			return nil, context.Canceled // the leader's request was cancelled
+		})
+		leaderDone <- err
+	}()
+	<-leaderStarted
+
+	var followerComputes atomic.Int64
+	followerDone := make(chan struct{})
+	var val []byte
+	var hit bool
+	var err error
+	go func() {
+		defer close(followerDone)
+		val, hit, err = c.Do(context.Background(), "key", func() ([]byte, error) {
+			followerComputes.Add(1)
+			return []byte("recovered"), nil
+		})
+	}()
+	close(leaderFail)
+	if lerr := <-leaderDone; lerr != context.Canceled {
+		t.Fatalf("leader error = %v", lerr)
+	}
+	<-followerDone
+	if err != nil || string(val) != "recovered" {
+		t.Fatalf("follower adopted the leader's failure: val=%q hit=%v err=%v", val, hit, err)
+	}
+	if followerComputes.Load() != 1 {
+		t.Errorf("follower computes = %d, want 1", followerComputes.Load())
+	}
+}
+
+// TestOversizedReplacementEvictsStaleValue: replacing a resident entry
+// with a value over MaxBytes must drop the stale entry rather than admit
+// the oversized one or keep serving superseded bytes — and the byte
+// bound must hold throughout.
+func TestOversizedReplacementEvictsStaleValue(t *testing.T) {
+	c := mustNew(t, Options{MaxBytes: 10})
+	c.Put("k", []byte("old"))
+	c.Put("other", []byte("x"))
+	c.Put("k", make([]byte, 64)) // over the bound
+	if _, ok := c.Get("k"); ok {
+		t.Error("oversized replacement left k resident")
+	}
+	if _, ok := c.Get("other"); !ok {
+		t.Error("oversized replacement evicted an unrelated entry")
+	}
+	if s := c.Stats(); s.Bytes > 10 {
+		t.Errorf("bytes = %d exceeds bound 10 after oversized replacement", s.Bytes)
+	}
+}
+
+func TestDoServesDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	mustNew(t, Options{Dir: dir}).Put("key", []byte("stored"))
+	c := mustNew(t, Options{Dir: dir})
+	val, hit, err := c.Do(context.Background(), "key", func() ([]byte, error) {
+		t.Fatal("compute ran despite a disk-tier entry")
+		return nil, nil
+	})
+	if err != nil || !hit || string(val) != "stored" {
+		t.Fatalf("val=%q hit=%v err=%v", val, hit, err)
+	}
+}
+
+func TestConcurrentMixedOperations(t *testing.T) {
+	c := mustNew(t, Options{MaxEntries: 8, MaxBytes: 1 << 10, Dir: t.TempDir()})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("key%d", i%13)
+				switch i % 4 {
+				case 0:
+					c.Put(key, []byte(key))
+				case 1:
+					if v, ok := c.Get(key); ok && string(v) != key {
+						t.Errorf("Get(%s) = %q", key, v)
+					}
+				case 2:
+					v, _, err := c.Do(context.Background(), key, func() ([]byte, error) { return []byte(key), nil })
+					if err != nil || string(v) != key {
+						t.Errorf("Do(%s) = %q, %v", key, v, err)
+					}
+				case 3:
+					c.Remove(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMeanMergeExactness pins the shard-merge contract the sim layer
+// leans on: a mean carried as (Sum, N) merges across shards exactly —
+// not approximately — so a dispatched run folds to the same bits as a
+// local one. The samples are dyadic rationals, whose sums are exact in
+// float64 regardless of order.
+func TestMeanMergeExactness(t *testing.T) {
+	samples := []float64{0.5, 0.25, 1.75, -2.5, 8, 0.125, -0.375, 3}
+	var whole Mean
+	for _, x := range samples {
+		whole.Add(x)
+	}
+	var a, b Mean
+	for i, x := range samples {
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	mergedSum := a.Sum() + b.Sum()
+	mergedN := a.N() + b.N()
+	if mergedSum != whole.Sum() || mergedN != whole.N() {
+		t.Fatalf("merged (sum=%v, n=%d) != whole (sum=%v, n=%d)", mergedSum, mergedN, whole.Sum(), whole.N())
+	}
+	if got, want := mergedSum/float64(mergedN), whole.Value(); got != want {
+		t.Errorf("merged mean %v != whole mean %v", got, want)
+	}
+}
+
+func TestMeanAddN(t *testing.T) {
+	var m Mean
+	m.AddN(2.5, 4)
+	m.Add(2.5)
+	if m.N() != 5 || m.Sum() != 12.5 || m.Value() != 2.5 {
+		t.Errorf("AddN: n=%d sum=%v value=%v", m.N(), m.Sum(), m.Value())
+	}
+	var empty Mean
+	if empty.Value() != 0 {
+		t.Errorf("empty mean value = %v, want 0", empty.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(0.05, 3) // bucket 0
+	h.Add(0.95, 1) // bucket 9
+	h.Add(1.0, 2)  // closed top: bucket 9, not out of range
+	h.Add(-0.5, 1) // clamped: bucket 0
+	h.Add(1.5, 1)  // clamped: bucket 9
+	if h.Buckets() != 10 || h.Total() != 8 {
+		t.Fatalf("buckets=%d total=%d", h.Buckets(), h.Total())
+	}
+	if h.Count(0) != 4 || h.Count(9) != 4 {
+		t.Errorf("counts: bucket0=%d bucket9=%d, want 4 and 4", h.Count(0), h.Count(9))
+	}
+	if got := h.Fraction(0); got != 0.5 {
+		t.Errorf("Fraction(0) = %v, want 0.5", got)
+	}
+
+	other := NewHistogram(10)
+	other.Add(0.55, 6) // bucket 5
+	h.Merge(other)
+	if h.Total() != 14 || h.Count(5) != 6 {
+		t.Errorf("after merge: total=%d bucket5=%d", h.Total(), h.Count(5))
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched bucket counts did not panic")
+		}
+	}()
+	h.Merge(NewHistogram(5))
+}
+
+func TestHistogramEmptyFractions(t *testing.T) {
+	h := NewHistogram(4)
+	for i, f := range h.Fractions() {
+		if f != 0 {
+			t.Errorf("empty histogram Fraction(%d) = %v", i, f)
+		}
+	}
+}
+
+func TestFootprintForCoverage(t *testing.T) {
+	items := []WeightedItem{
+		{Size: 100, Weight: 900}, // hottest per byte
+		{Size: 100, Weight: 90},
+		{Size: 100, Weight: 10}, // coldest
+	}
+	// 90% of the weight (900/1000) is covered by the hottest block alone.
+	if got := FootprintForCoverage(items, 0.9); got != 100 {
+		t.Errorf("coverage 0.9 = %d, want 100", got)
+	}
+	// 99% needs the top two.
+	if got := FootprintForCoverage(items, 0.99); got != 200 {
+		t.Errorf("coverage 0.99 = %d, want 200", got)
+	}
+	// Full coverage takes everything; >1 clamps.
+	if got := FootprintForCoverage(items, 1.5); got != 300 {
+		t.Errorf("coverage 1.5 = %d, want 300", got)
+	}
+	if got := FootprintForCoverage(items, 0); got != 0 {
+		t.Errorf("coverage 0 = %d, want 0", got)
+	}
+	if got := FootprintForCoverage(nil, 0.99); got != 0 {
+		t.Errorf("empty items = %d, want 0", got)
+	}
+	if got := FootprintForCoverage([]WeightedItem{{Size: 10, Weight: 0}}, 0.5); got != 0 {
+		t.Errorf("zero total weight = %d, want 0", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %v, want 4", got)
+	}
+	// Non-positive entries are ignored; all-non-positive yields 0.
+	if got := Geomean([]float64{2, 8, 0, -1}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Geomean with ignored entries = %v, want 4", got)
+	}
+	if got := Geomean([]float64{0, -3}); got != 0 {
+		t.Errorf("Geomean of non-positives = %v, want 0", got)
+	}
+}
+
+func TestAverageRatioClamp(t *testing.T) {
+	if got := Average([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Average = %v", got)
+	}
+	if got := Average(nil); got != 0 {
+		t.Errorf("Average(nil) = %v", got)
+	}
+	if got := Ratio(1, 4); got != "25.0%" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "n/a" {
+		t.Errorf("Ratio(1,0) = %q", got)
+	}
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+// In-package tests for SetContext's never-fires fast path: whether the
+// executor arms per-region polling is an internal decision (e.ctx), so
+// the assertions live inside the package.
+
+import (
+	"context"
+	"testing"
+
+	"rebalance/internal/workload"
+)
+
+type ctxKey struct{}
+
+func TestSetContextFastPath(t *testing.T) {
+	e := &Executor{}
+	cancellable, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deadlined, cancel2 := context.WithTimeout(context.Background(), 1e18)
+	defer cancel2()
+
+	cases := []struct {
+		name     string
+		ctx      context.Context
+		wantPoll bool
+	}{
+		{"nil", nil, false},
+		{"background", context.Background(), false},
+		{"todo", context.TODO(), false},
+		// The bug this pins down: a value-only derivation of Background
+		// can never fire either, but the old identity comparison armed
+		// polling for it.
+		{"value-wrapped background", context.WithValue(context.Background(), ctxKey{}, 1), false},
+		{"cancellable", cancellable, true},
+		{"deadlined", deadlined, true},
+		{"value-wrapped cancellable", context.WithValue(cancellable, ctxKey{}, 1), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e.SetContext(tc.ctx)
+			if got := e.ctx != nil; got != tc.wantPoll {
+				t.Errorf("SetContext(%s): polling armed = %v, want %v", tc.name, got, tc.wantPoll)
+			}
+		})
+	}
+}
+
+// TestSetContextValueOnlyRunCompletes drives a real run with a value-only
+// context: it must complete exactly like an uncancellable run (and, with
+// the fast path, without paying any per-region Err() calls).
+func TestSetContextValueOnlyRunCompletes(t *testing.T) {
+	c := compileTestWorkload(t)
+	e := NewCompiledExecutor(c, 1)
+	e.SetContext(context.WithValue(context.Background(), ctxKey{}, "v"))
+	if err := e.Run(10_000); err != nil {
+		t.Fatalf("run with value-only context failed: %v", err)
+	}
+	if e.Emitted() < 10_000 {
+		t.Errorf("emitted %d < budget", e.Emitted())
+	}
+}
+
+// compileTestWorkload compiles a small real workload for in-package tests.
+func compileTestWorkload(t *testing.T) *Compiled {
+	t.Helper()
+	prog, err := workload.Build("comd-lite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

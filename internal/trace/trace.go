@@ -169,7 +169,13 @@ func (e *Executor) Emitted() int64 { return e.emitted }
 // polling. An executor whose run was cancelled is left mid-stream and must
 // not be reused.
 func (e *Executor) SetContext(ctx context.Context) {
-	if ctx == context.Background() || ctx == context.TODO() {
+	// A nil Done channel means the context can never be cancelled, per the
+	// context.Context contract — true for Background and TODO but equally
+	// for value-only contexts derived from them. The old identity
+	// comparison (ctx == context.Background()) missed those derivations
+	// and would have been fooled by any wrapper comparing equal to the
+	// sentinels; Done() == nil asks the context itself.
+	if ctx == nil || ctx.Done() == nil {
 		ctx = nil // never fires; skip the per-region poll entirely
 	}
 	e.ctx = ctx

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+}
+
+func TestStrictUnmarshalValid(t *testing.T) {
+	var p payload
+	if err := StrictUnmarshal([]byte(`{"name":"a","count":3}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "a" || p.Count != 3 {
+		t.Errorf("decoded %+v", p)
+	}
+}
+
+// TestStrictUnmarshalRejects pins the failure modes that matter on the
+// wire: a mangled or mis-routed artifact must fail loudly, never decode
+// partially or drop fields.
+func TestStrictUnmarshalRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantSubstr string
+	}{
+		{"unknown field", `{"name":"a","counter":3}`, "unknown field"},
+		{"trailing garbage", `{"name":"a"} garbage`, "trailing data"},
+		{"second document", `{"name":"a"}{"name":"b"}`, "trailing data"},
+		{"malformed", `{"name":`, "unexpected EOF"},
+		{"wrong type", `{"count":"three"}`, "cannot unmarshal"},
+		{"empty input", ``, "EOF"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var p payload
+			err := StrictUnmarshal([]byte(tc.in), &p)
+			if err == nil {
+				t.Fatalf("decoded %q without error", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantSubstr) {
+				t.Errorf("error = %v, want substring %q", err, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+func TestStrictUnmarshalTrailingWhitespaceOK(t *testing.T) {
+	var p payload
+	if err := StrictUnmarshal([]byte("{\"name\":\"a\"}\n  \t"), &p); err != nil {
+		t.Errorf("trailing whitespace rejected: %v", err)
+	}
+}
+
+func TestStrictUnmarshalNeverPanics(t *testing.T) {
+	for _, in := range []string{"null", "[]", `"str"`, "{", "}", "\x00\xff", "123"} {
+		var p payload
+		_ = StrictUnmarshal([]byte(in), &p) // must not panic
+	}
+}

@@ -1,10 +1,12 @@
 package workload_test
 
 import (
+	"strings"
 	"testing"
 
 	"rebalance/internal/analysis"
 	"rebalance/internal/isa"
+	"rebalance/internal/program"
 	"rebalance/internal/trace"
 	"rebalance/internal/workload"
 )
@@ -56,4 +58,33 @@ func TestStreamCoverage(t *testing.T) {
 			t.Errorf("no workload emitted kind %v", isa.Kind(k))
 		}
 	}
+}
+
+// TestRegisterDuplicatePanics pins the registry contract for workload
+// models: a duplicate name must fail loudly with the name, never silently
+// shadow a built-in profile.
+func TestRegisterDuplicatePanics(t *testing.T) {
+	name := workload.Names()[0] // a built-in registered at init
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, `"`+name+`"`) {
+			t.Fatalf("panic = %v, want a message naming the duplicate workload %q", r, name)
+		}
+		// The original must still build.
+		if _, err := workload.Build(name); err != nil {
+			t.Errorf("original workload lost after rejected duplicate: %v", err)
+		}
+	}()
+	workload.Register(name, func() (*program.Program, int) { return nil, 0 })
+	t.Fatal("duplicate Register did not panic")
+}
+
+func TestRegisterNilBuilderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil builder did not panic")
+		}
+	}()
+	workload.Register("workload-test-nil-builder", nil)
 }
