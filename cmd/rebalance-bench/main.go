@@ -11,9 +11,18 @@
 // failover, and the merged report is bit-identical (up to timing fields)
 // to the same sweep run locally.
 //
+// With -synth the sweep additionally (or, when -workloads is omitted,
+// exclusively) covers a grid of synthetic scenarios: ';'-separated knob
+// axes of ','-separated values expand by cross product into synth/v1
+// parameter sets that travel inline in the spec — and, with -backends,
+// over the worker protocol, so remote workers build the exact same
+// programs. `-synth bias=0.6,0.8,0.95` sweeps the biased-branch fraction
+// over three scenarios; see parseSynthGrid for the axis list.
+//
 // Usage:
 //
 //	rebalance-bench [-workloads comd-lite,xalan-lite] [-seeds 4]
+//	                [-synth "bias=0.6,0.8,0.95;hot=0.25,0.75"]
 //	                [-insts 2000000] [-workers N] [-calibrate 2000000]
 //	                [-backends http://host1:8080,http://host2:8080]
 //	                [-out report.json]
@@ -36,6 +45,7 @@ import (
 	"rebalance/internal/stats"
 	"rebalance/internal/trace"
 	"rebalance/internal/workload"
+	"rebalance/internal/workload/synth"
 )
 
 // benchShard is the JSON record for one completed shard.
@@ -107,7 +117,8 @@ type report struct {
 
 func main() {
 	var (
-		workloadsFlag = flag.String("workloads", strings.Join(workload.Names(), ","), "comma-separated workload names")
+		workloadsFlag = flag.String("workloads", "", "comma-separated workload names (default: every registered workload, or none when -synth is given)")
+		synthFlag     = flag.String("synth", "", "synthetic-scenario grid: ';'-separated axes of ','-separated values, e.g. \"bias=0.6,0.8,0.95;hot=0.25,0.75\"")
 		seedsFlag     = flag.Int("seeds", 4, "seeds per {workload, predictor} pair")
 		instsFlag     = flag.Int64("insts", 2_000_000, "dynamic instructions per shard")
 		workersFlag   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
@@ -116,7 +127,7 @@ func main() {
 		outFlag       = flag.String("out", "", "write the JSON report to this file (default stdout)")
 	)
 	flag.Parse()
-	if err := run(*workloadsFlag, *seedsFlag, *instsFlag, *workersFlag, *calibFlag, *backendsFlag, *outFlag); err != nil {
+	if err := run(*workloadsFlag, *synthFlag, *seedsFlag, *instsFlag, *workersFlag, *calibFlag, *backendsFlag, *outFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "rebalance-bench:", err)
 		os.Exit(1)
 	}
@@ -142,17 +153,38 @@ func parseWorkloads(csv string) ([]string, error) {
 	return names, nil
 }
 
-func run(workloadsCSV string, seeds int, insts int64, workers int, calibInsts int64, backendsCSV, out string) error {
+func run(workloadsCSV, synthCSV string, seeds int, insts int64, workers int, calibInsts int64, backendsCSV, out string) error {
 	if seeds < 1 || insts < 1 || workers < 1 {
 		return fmt.Errorf("seeds, insts, and workers must be positive")
 	}
-	names, err := parseWorkloads(workloadsCSV)
-	if err != nil {
-		return err
+	var names []string
+	var err error
+	if workloadsCSV != "" {
+		names, err = parseWorkloads(workloadsCSV)
+		if err != nil {
+			return err
+		}
+	}
+	var synthSets []synth.Params
+	if synthCSV != "" {
+		synthSets, err = parseSynthGrid(synthCSV)
+		if err != nil {
+			return err
+		}
+	}
+	// No explicit selection: sweep every registered workload. An
+	// explicit -synth without -workloads sweeps only the synth grid.
+	if len(names) == 0 && len(synthSets) == 0 {
+		names = workload.Names()
+	}
+	specWorkloads := append([]string(nil), names...)
+	for i := range synthSets {
+		specWorkloads = append(specWorkloads, synthSets[i].Name)
 	}
 
 	// The whole sweep is one declarative Spec: the grid of every
-	// registered predictor configuration over every workload and seed.
+	// registered predictor configuration over every workload (registered
+	// and synthetic) and seed.
 	sess := sim.NewSession(workers)
 	if backendsCSV != "" {
 		backends, err := dispatch.ParseBackends(backendsCSV, dispatch.DefaultClient())
@@ -166,7 +198,8 @@ func run(workloadsCSV string, seeds int, insts int64, workers int, calibInsts in
 		sess.SetRunner(d)
 	}
 	simRep, err := sess.Run(context.Background(), &sim.Spec{
-		Workloads: names,
+		Workloads: specWorkloads,
+		Synth:     synthSets,
 		SeedCount: seeds,
 		Insts:     insts,
 		Observers: []sim.ObserverSpec{{Kind: "bpred"}},
@@ -180,7 +213,12 @@ func run(workloadsCSV string, seeds int, insts int64, workers int, calibInsts in
 		return err
 	}
 	if calibInsts > 0 {
-		c, err := sess.Compiled(names[0])
+		var c *trace.Compiled
+		if len(names) > 0 {
+			c, err = sess.Compiled(names[0])
+		} else {
+			c, err = sess.CompiledSynth(&synthSets[0])
+		}
 		if err != nil {
 			return err
 		}

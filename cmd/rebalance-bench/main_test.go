@@ -148,10 +148,10 @@ func TestBackendsDispatchMatchesLocal(t *testing.T) {
 	dir := t.TempDir()
 	localOut := filepath.Join(dir, "local.json")
 	remoteOut := filepath.Join(dir, "remote.json")
-	if err := run("comd-lite", 2, 20_000, 2, 0, "", localOut); err != nil {
+	if err := run("comd-lite", "", 2, 20_000, 2, 0, "", localOut); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("comd-lite", 2, 20_000, 2, 0, w1.URL+","+w2.URL, remoteOut); err != nil {
+	if err := run("comd-lite", "", 2, 20_000, 2, 0, w1.URL+","+w2.URL, remoteOut); err != nil {
 		t.Fatal(err)
 	}
 	local, remote := normalize(localOut), normalize(remoteOut)
@@ -203,5 +203,140 @@ func TestAggregateConsistency(t *testing.T) {
 		if a.MeanMPKI != a.MergedMPKI {
 			t.Errorf("%s/%s: single-seed mean %v != merged %v", a.Workload, a.Predictor, a.MeanMPKI, a.MergedMPKI)
 		}
+	}
+}
+
+func TestParseSynthGrid(t *testing.T) {
+	grid, err := parseSynthGrid("bias=0.6,0.8,0.95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 3 {
+		t.Fatalf("got %d scenarios, want 3", len(grid))
+	}
+	wantNames := []string{"synth-bias0.6", "synth-bias0.8", "synth-bias0.95"}
+	for i, p := range grid {
+		if p.Name != wantNames[i] {
+			t.Errorf("scenario %d named %q, want %q", i, p.Name, wantNames[i])
+		}
+		// Canonicalized: defaults explicit, mixture filled to sum 1.
+		if p.BlockLen == 0 || p.Dispatch == "" {
+			t.Errorf("scenario %d not canonical: %+v", i, p)
+		}
+		if sum := p.BiasedFrac + p.CorrelatedFrac + p.NoisyFrac; sum < 0.999 || sum > 1.001 {
+			t.Errorf("scenario %d mixture sums to %v", i, sum)
+		}
+	}
+	if grid[0].BiasedFrac != 0.6 || grid[2].BiasedFrac != 0.95 {
+		t.Errorf("bias axis not applied: %v, %v", grid[0].BiasedFrac, grid[2].BiasedFrac)
+	}
+
+	// Cross product of two axes, including a trips axis with phases.
+	grid, err = parseSynthGrid("hot=0.25,0.75; trips=12:20,40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 4 {
+		t.Fatalf("cross product gave %d scenarios, want 4", len(grid))
+	}
+	if grid[0].Name != "synth-hot0.25-trips12.20" || len(grid[0].TripCounts) != 2 {
+		t.Errorf("first cross-product scenario: %+v", grid[0])
+	}
+
+	for _, tc := range []struct{ arg, want string }{
+		{"", "want key=v1"},
+		{"bogus=1", "axis"},
+		{"bias=", "empty value"},
+		{"bias=0.6,,0.8", "empty value"},
+		{"depth=two", "invalid syntax"},
+		{"taken=0.2", "bias"}, // canonicalization rejects weak bias
+		{"seed=1,2,3,4,5,6,7,8,9;hot=0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.75", "max"},
+	} {
+		if _, err := parseSynthGrid(tc.arg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseSynthGrid(%q): err = %v, want one containing %q", tc.arg, err, tc.want)
+		}
+	}
+}
+
+// TestSynthSweepDispatchedAndDeterministic is the acceptance sweep in
+// miniature: >= 3 synth parameter sets x 2 seeds, run twice locally from
+// fresh processes' worth of state (fresh sessions) and once dispatched to
+// in-process simd workers — all byte-identical on deterministic fields.
+func TestSynthSweepDispatchedAndDeterministic(t *testing.T) {
+	w1 := httptest.NewServer(dispatch.WorkerHandler(sim.NewSession(1), 0))
+	defer w1.Close()
+	w2 := httptest.NewServer(dispatch.WorkerHandler(sim.NewSession(1), 0))
+	defer w2.Close()
+
+	normalize := func(path string) []byte {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatal(err)
+		}
+		rep.GoVersion = ""
+		rep.GOMAXPROCS = 0
+		rep.Workers = 0
+		rep.Dispatched = false
+		rep.WallNS = 0
+		rep.SweepMInstsPS = 0
+		rep.PerWorkerMInstsPS = 0
+		for i := range rep.Shards {
+			rep.Shards[i].ElapsedNS = 0
+			rep.Shards[i].MInstsPerSec = 0
+		}
+		for i := range rep.Aggregates {
+			rep.Aggregates[i].MeanMInstsPS = 0
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	const grid = "bias=0.6,0.8,0.95"
+	dir := t.TempDir()
+	paths := map[string]string{
+		"cold1":      filepath.Join(dir, "cold1.json"),
+		"cold2":      filepath.Join(dir, "cold2.json"),
+		"dispatched": filepath.Join(dir, "dispatched.json"),
+	}
+	if err := run("", grid, 2, 20_000, 2, 0, "", paths["cold1"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", grid, 2, 20_000, 2, 0, "", paths["cold2"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", grid, 2, 20_000, 2, 0, w1.URL+","+w2.URL, paths["dispatched"]); err != nil {
+		t.Fatal(err)
+	}
+
+	cold1 := normalize(paths["cold1"])
+	var rep report
+	if err := json.Unmarshal(cold1, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * 2 * 9; len(rep.Shards) != want {
+		t.Fatalf("synth sweep has %d shards, want %d (3 scenarios x 2 seeds x 9 predictors)", len(rep.Shards), want)
+	}
+	if len(rep.Workloads) != 3 || !strings.HasPrefix(rep.Workloads[0], "synth-") {
+		t.Fatalf("sweep workloads = %v, want the synth grid only", rep.Workloads)
+	}
+	if string(cold1) != string(normalize(paths["cold2"])) {
+		t.Error("two cold synth sweeps differ on deterministic fields")
+	}
+	if string(cold1) != string(normalize(paths["dispatched"])) {
+		t.Error("dispatched synth sweep differs from local sweep on deterministic fields")
+	}
+}
+
+func TestParseSynthGridRejectsRepeatedAxis(t *testing.T) {
+	if _, err := parseSynthGrid("bias=0.6,0.8;bias=0.9"); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("repeated axis: err = %v, want rejection (later values would silently overwrite earlier ones)", err)
 	}
 }

@@ -19,8 +19,14 @@
 //	GET  /v1/workloads   enumerate the workload registry
 //	GET  /v1/predictors  enumerate the predictor-config registry with costs
 //	GET  /v1/observers   enumerate the observer-kind registry
+//	GET  /v1/synth       the synth/v1 parameter grammar version and canonical defaults
 //	GET  /v1/cache/stats shard result cache counters (hits/misses/evictions/bytes)
 //	GET  /healthz        liveness probe
+//
+// Synthetic workloads need no registration: a Spec (or ShardSpec) carries
+// synth/v1 parameter sets inline, and both run endpoints build the exact
+// program those canonical params describe. GET /v1/synth documents the
+// knob defaults clients sweep from.
 //
 // Shard results are cached by content address (see internal/sim/shardcache):
 // re-requesting a shard the process has already computed — common in
@@ -61,6 +67,7 @@ import (
 	"rebalance/internal/sim/dispatch"
 	"rebalance/internal/sim/shardcache"
 	"rebalance/internal/workload"
+	"rebalance/internal/workload/synth"
 )
 
 // maxSpecBytes bounds request bodies; a Spec is small, so anything larger
@@ -179,6 +186,9 @@ func newServer(sess *sim.Session, maxInsts int64, worker bool) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/observers", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"observers": sim.ObserverKinds()})
+	})
+	mux.HandleFunc("GET /v1/synth", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"version": synth.Version, "defaults": synth.Defaults()})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})

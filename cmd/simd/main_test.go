@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rebalance/internal/sim"
+	"rebalance/internal/workload/synth"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -334,5 +335,107 @@ func TestRunRejectsBadSpecs(t *testing.T) {
 				t.Errorf("error body not JSON with error field: %v", err)
 			}
 		})
+	}
+}
+
+// TestSynthEndpointAndRun covers the synthetic-workload surface: the
+// grammar endpoint serves the canonical defaults, the coordinator runs an
+// inline scenario, and the worker protocol executes a synth shard from
+// its wire bytes.
+func TestSynthEndpointAndRun(t *testing.T) {
+	srv := testServer(t)
+
+	var g struct {
+		Version  string       `json:"version"`
+		Defaults synth.Params `json:"defaults"`
+	}
+	getJSON(t, srv.URL+"/v1/synth", &g)
+	if g.Version != synth.Version {
+		t.Errorf("/v1/synth version = %q, want %q", g.Version, synth.Version)
+	}
+	if g.Defaults.BlockLen == 0 || g.Defaults.Dispatch == "" {
+		t.Errorf("/v1/synth defaults not canonical: %+v", g.Defaults)
+	}
+
+	spec := `{
+		"workloads": ["synth-smoke"],
+		"synth": [{"name": "synth-smoke", "hot_frac": 0.5}],
+		"seed_count": 1,
+		"insts": 20000,
+		"observers": [{"kind": "branch-mix"}, {"kind": "bias"}]
+	}`
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("synth run: status %d: %s", resp.StatusCode, body)
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+		Spec   struct {
+			Synth []synth.Params `json:"synth"`
+		} `json:"spec"`
+		Shards []struct {
+			Workload string          `json:"workload"`
+			Insts    int64           `json:"insts"`
+			Result   json.RawMessage `json:"result"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != sim.SchemaV1 || len(rep.Shards) != 2 {
+		t.Fatalf("synth run report: schema %q, %d shards", rep.Schema, len(rep.Shards))
+	}
+	if len(rep.Spec.Synth) != 1 || rep.Spec.Synth[0].BlockLen == 0 {
+		t.Errorf("echoed spec does not carry canonical synth params: %+v", rep.Spec.Synth)
+	}
+	for _, sh := range rep.Shards {
+		if sh.Workload != "synth-smoke" || sh.Insts < 20000 || len(sh.Result) == 0 {
+			t.Errorf("synth shard incomplete: %+v", sh)
+		}
+	}
+
+	// Bad knobs are client errors on the same path.
+	resp2, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(
+		`{"workloads":["s"],"synth":[{"name":"s","bias":0.2}],"seed_count":1,"insts":1000,"observers":[{"kind":"bbl"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad synth knob: status %d, want 400", resp2.StatusCode)
+	}
+
+	// The worker half: a synth ShardSpec posted to /v1/shards executes
+	// from its wire bytes alone.
+	shardSpec := `{
+		"workload": "synth-smoke",
+		"synth": {"name": "synth-smoke", "hot_frac": 0.5},
+		"seed": 1,
+		"insts": 10000,
+		"observer": {"kind": "bias"}
+	}`
+	resp3, err := http.Post(srv.URL+"/v1/shards", "application/json", strings.NewReader(shardSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	body, _ := io.ReadAll(resp3.Body)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("synth shard: status %d: %s", resp3.StatusCode, body)
+	}
+	var shard struct {
+		Workload string `json:"workload"`
+		Insts    int64  `json:"insts"`
+	}
+	if err := json.Unmarshal(body, &shard); err != nil {
+		t.Fatal(err)
+	}
+	if shard.Workload != "synth-smoke" || shard.Insts < 10000 {
+		t.Errorf("worker synth shard: %+v", shard)
 	}
 }

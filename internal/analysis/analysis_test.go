@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rebalance/internal/isa"
+)
+
+// inst is a shorthand constructor for hand-built streams.
+func inst(pc isa.Addr, size uint8, kind isa.Kind, taken bool, target isa.Addr, serial bool) isa.Inst {
+	return isa.Inst{PC: pc, Size: size, Kind: kind, Taken: taken, Target: target, Serial: serial}
+}
+
+func close2(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestPhaseHelpers(t *testing.T) {
+	for p, name := range map[Phase]string{Total: "total", Serial: "serial", Parallel: "parallel"} {
+		if p.String() != name {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), name)
+		}
+	}
+	if got := Phase(9).String(); got != "phase?" {
+		t.Errorf("out-of-range phase String() = %q", got)
+	}
+	v := PhaseVals{Total: 1, Serial: 2, Parallel: 3}
+	if v.Get(Total) != 1 || v.Get(Serial) != 2 || v.Get(Parallel) != 3 {
+		t.Errorf("PhaseVals.Get mismatch: %+v", v)
+	}
+}
+
+// TestBranchMixCounts drives a hand-built stream with known per-kind and
+// per-phase counts through both observation paths and checks every
+// derived Figure 1 statistic.
+func TestBranchMixCounts(t *testing.T) {
+	stream := []isa.Inst{
+		inst(0x100, 4, isa.KindOther, false, 0, true),
+		inst(0x104, 4, isa.KindOther, false, 0, true),
+		inst(0x108, 2, isa.KindCondDirect, true, 0x100, true),
+		inst(0x200, 4, isa.KindOther, false, 0, false),
+		inst(0x204, 3, isa.KindIndirectCall, true, 0x400, false),
+		inst(0x400, 1, isa.KindReturn, true, 0x207, false),
+		inst(0x207, 2, isa.KindSyscall, true, 0x209, false),
+	}
+	single, batched := NewBranchMix(), NewBranchMix()
+	for _, in := range stream {
+		single.Observe(in)
+	}
+	batched.ObserveBatch(stream)
+
+	for _, a := range []*BranchMix{single, batched} {
+		if a.Insts(Total) != 7 || a.Insts(Serial) != 3 || a.Insts(Parallel) != 4 {
+			t.Fatalf("insts = %d/%d/%d", a.Insts(Total), a.Insts(Serial), a.Insts(Parallel))
+		}
+		if a.Count(Serial, isa.KindCondDirect) != 1 || a.Count(Parallel, isa.KindCondDirect) != 0 {
+			t.Error("cond-direct miscounted")
+		}
+		if !close2(a.Fraction(Total, isa.KindOther), 3.0/7) {
+			t.Errorf("other fraction = %v", a.Fraction(Total, isa.KindOther))
+		}
+		// Branches: cond + indirect call + return + syscall = 4 of 7.
+		if !close2(a.BranchFraction(Total), 4.0/7) {
+			t.Errorf("branch fraction = %v", a.BranchFraction(Total))
+		}
+		// Indirect share of branches: the indirect call, 1 of 4
+		// (returns are indirect control flow but not in the paper's
+		// indirect-jump/call population).
+		if !close2(a.IndirectFractionOfBranches(Total), 1.0/4) {
+			t.Errorf("indirect fraction = %v", a.IndirectFractionOfBranches(Total))
+		}
+		rep := a.Report()
+		if rep.Insts != [NumPhases]int64{7, 3, 4} {
+			t.Errorf("report insts = %v", rep.Insts)
+		}
+		if !close2(rep.BranchPct[0], 100*4.0/7) {
+			t.Errorf("report branch pct = %v", rep.BranchPct[0])
+		}
+	}
+
+	// The mergeable result merges by plain counter addition.
+	r := single.Result()
+	if err := r.Merge(batched.Result()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Insts != [2]int64{6, 8} {
+		t.Errorf("merged insts = %v", r.Insts)
+	}
+	if err := r.Merge(&BiasResult{}); err == nil || !strings.Contains(err.Error(), "cannot merge") {
+		t.Errorf("cross-type merge err = %v", err)
+	}
+	if a := NewBranchMix(); a.Fraction(Total, isa.KindOther) != 0 || a.BranchFraction(Total) != 0 || a.IndirectFractionOfBranches(Total) != 0 {
+		t.Error("empty analyzer fractions not zero")
+	}
+}
+
+// TestBiasSites checks the Figure 2 histogram and Table I splits over
+// sites with exactly known rates.
+func TestBiasSites(t *testing.T) {
+	a := NewBias()
+	// Site A (serial): taken 9 of 10, all backward — top bucket.
+	for i := 0; i < 10; i++ {
+		a.Observe(inst(0x100, 2, isa.KindCondDirect, i < 9, 0x80, true))
+	}
+	// Site B (parallel): taken 1 of 4, forward — bucket 2 (25%).
+	for i := 0; i < 4; i++ {
+		a.Observe(inst(0x200, 2, isa.KindCondDirect, i == 0, 0x300, false))
+	}
+	// Non-conditional instructions are ignored entirely.
+	a.Observe(inst(0x300, 3, isa.KindIndirectBranch, true, 0x100, false))
+	a.Observe(inst(0x304, 4, isa.KindOther, false, 0, false))
+
+	if a.Sites() != 2 {
+		t.Fatalf("sites = %d, want 2", a.Sites())
+	}
+	h := a.Histogram(Total)
+	if !close2(h.Fraction(9), 10.0/14) || !close2(h.Fraction(2), 4.0/14) {
+		t.Errorf("histogram buckets: top %v (want %v), 20-30%% %v (want %v)",
+			h.Fraction(9), 10.0/14, h.Fraction(2), 4.0/14)
+	}
+	if !close2(a.BiasedFraction(Total), 10.0/14) {
+		t.Errorf("biased fraction = %v", a.BiasedFraction(Total))
+	}
+	if !close2(a.BiasedFraction(Parallel), 0) {
+		t.Errorf("parallel biased fraction = %v", a.BiasedFraction(Parallel))
+	}
+	back, fwd := a.TakenDirection(Total)
+	if back != 9 || fwd != 1 {
+		t.Errorf("taken direction = %d/%d, want 9 backward 1 forward", back, fwd)
+	}
+	if !close2(a.BackwardFraction(Total), 0.9) {
+		t.Errorf("backward fraction = %v", a.BackwardFraction(Total))
+	}
+	if !close2(a.TakenFraction(Total), 10.0/14) {
+		t.Errorf("taken fraction = %v", a.TakenFraction(Total))
+	}
+	if NewBias().BackwardFraction(Total) != 0 || NewBias().TakenFraction(Total) != 0 {
+		t.Error("empty analyzer fractions not zero")
+	}
+
+	// Merging a result into a zero result reproduces the analyzer's own
+	// report numbers through the wire encoding.
+	merged := &BiasResult{}
+	if err := merged.Merge(a.Result()); err != nil {
+		t.Fatal(err)
+	}
+	enc1, err := a.Result().EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := merged.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc1) != string(enc2) {
+		t.Errorf("merged encoding differs:\n%s\n%s", enc1, enc2)
+	}
+	if err := merged.Merge(&MixResult{}); err == nil {
+		t.Error("cross-type merge accepted")
+	}
+
+	// Observe and ObserveBatch agree.
+	b := NewBias()
+	b.ObserveBatch([]isa.Inst{
+		inst(0x100, 2, isa.KindCondDirect, true, 0x80, true),
+		inst(0x100, 2, isa.KindCondDirect, false, 0x80, true),
+	})
+	s := b.Result().Sites[0x100]
+	if s.Exec[0] != 2 || s.Taken[0] != 1 {
+		t.Errorf("batched site counters = %+v", s)
+	}
+}
+
+// TestBBLAccounting checks block and taken-run accounting on a stream
+// with known geometry, including the partial-block-at-end rule.
+func TestBBLAccounting(t *testing.T) {
+	a := NewBBL()
+	stream := []isa.Inst{
+		// Block 1: 4+4+2 = 10 bytes, ends in a not-taken branch.
+		inst(0x100, 4, isa.KindOther, false, 0, true),
+		inst(0x104, 4, isa.KindOther, false, 0, true),
+		inst(0x108, 2, isa.KindCondDirect, false, 0x200, true),
+		// Block 2: 6+2 = 8 bytes, ends in a taken branch. The taken run
+		// covers both blocks: 18 bytes.
+		inst(0x10a, 6, isa.KindOther, false, 0, true),
+		inst(0x110, 2, isa.KindCondDirect, true, 0x100, true),
+		// A trailing partial block that must not be counted.
+		inst(0x100, 4, isa.KindOther, false, 0, true),
+	}
+	a.ObserveBatch(stream)
+
+	if got := a.Blocks(Total); got != 2 {
+		t.Fatalf("blocks = %d, want 2", got)
+	}
+	if got := a.AvgBlockBytes(Total); !close2(got, 9) {
+		t.Errorf("avg block bytes = %v, want 9", got)
+	}
+	if got := a.AvgTakenDistance(Total); !close2(got, 18) {
+		t.Errorf("avg taken distance = %v, want 18", got)
+	}
+	if got := a.AvgBlockBytes(Parallel); got != 0 {
+		t.Errorf("parallel avg = %v, want 0 (no parallel blocks)", got)
+	}
+	rep := a.Report()
+	if !close2(rep.AvgBlockB[0], 9) || !close2(rep.AvgTakenDistB[0], 18) {
+		t.Errorf("report = %+v", rep)
+	}
+
+	// The result snapshot carries exact sums; merging two halves equals
+	// observing the whole.
+	b1, b2 := NewBBL(), NewBBL()
+	b1.ObserveBatch(stream[:3])
+	b2.ObserveBatch(stream[3:5])
+	r := b1.Result()
+	if err := r.Merge(b2.Result()); err != nil {
+		t.Fatal(err)
+	}
+	if r.BlockN[0] != 2 || !close2(r.BlockSum[0], 18) {
+		t.Errorf("merged result = %+v", r)
+	}
+	if err := r.Merge(&MixResult{}); err == nil {
+		t.Error("cross-type merge accepted")
+	}
+}
+
+// TestFootprintAccounting checks chunk accounting, the batch path's
+// run-coalescing equivalence, and coverage monotonicity.
+func TestFootprintAccounting(t *testing.T) {
+	// A hot 32-byte chunk (90 insts), a warm one (9), a cold one (1).
+	var stream []isa.Inst
+	add := func(pc isa.Addr, n int, serial bool) {
+		for i := 0; i < n; i++ {
+			stream = append(stream, inst(pc, 4, isa.KindOther, false, 0, serial))
+		}
+	}
+	add(0x1000, 90, true)
+	add(0x1040, 9, false)
+	add(0x1080, 1, false)
+
+	single, batched := NewFootprint(), NewFootprint()
+	for _, in := range stream {
+		single.Observe(in)
+	}
+	batched.ObserveBatch(stream)
+	for _, a := range []*Footprint{single, batched} {
+		if got := a.TouchedBytes(Total); got != 96 {
+			t.Errorf("touched = %d, want 96", got)
+		}
+		if got := a.DynamicBytes(Total, 0.90); got != 32 {
+			t.Errorf("dyn90 = %d, want the one hot chunk", got)
+		}
+		if got := a.DynamicBytes(Total, 0.99); got != 64 {
+			t.Errorf("dyn99 = %d, want hot+warm", got)
+		}
+		if got := a.TouchedBytes(Serial); got != 32 {
+			t.Errorf("serial touched = %d, want 32", got)
+		}
+	}
+
+	// An instruction's chunk is its first byte's chunk: a straddling
+	// instruction at 0x103e counts once, in chunk 0x1020/32.
+	s := NewFootprint()
+	s.Observe(inst(0x103e, 4, isa.KindOther, false, 0, true))
+	if got := s.TouchedBytes(Total); got != 32 {
+		t.Errorf("straddling inst touched %d bytes of accounting, want 32", got)
+	}
+
+	// Merge adds chunk weights and enforces same-program static sizes.
+	r := single.Result(4096)
+	if err := r.Merge(batched.Result(4096)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Chunks[0][uint64(0x1000)/32]; got != 180 {
+		t.Errorf("merged hot chunk weight = %d, want 180", got)
+	}
+	if err := r.Merge(single.Result(8192)); err == nil || !strings.Contains(err.Error(), "different programs") {
+		t.Errorf("static-size mismatch err = %v", err)
+	}
+	if err := r.Merge(&BBLResult{}); err == nil {
+		t.Error("cross-type merge accepted")
+	}
+	// A zero result adopts the first merged static size.
+	fresh := &FootprintResult{}
+	if err := fresh.Merge(single.Result(4096)); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.StaticBytes != 4096 {
+		t.Errorf("adopted static = %d", fresh.StaticBytes)
+	}
+}

@@ -1,0 +1,126 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// kindProps is the truth table for every kind's classification predicates
+// — the encodings the analysis collectors and simulators branch on.
+var kindProps = []struct {
+	kind        Kind
+	name        string
+	branch      bool
+	conditional bool
+	indirect    bool
+}{
+	{KindOther, "other", false, false, false},
+	{KindCondDirect, "cond-direct", true, true, false},
+	{KindUncondDirect, "uncond-direct", true, false, false},
+	{KindIndirectBranch, "indirect-branch", true, false, true},
+	{KindCall, "call", true, false, false},
+	{KindIndirectCall, "indirect-call", true, false, true},
+	{KindReturn, "return", true, false, true},
+	{KindSyscall, "syscall", true, false, false},
+}
+
+func TestKindPredicates(t *testing.T) {
+	if len(kindProps) != NumKinds {
+		t.Fatalf("truth table covers %d kinds, package defines %d", len(kindProps), NumKinds)
+	}
+	seen := map[string]bool{}
+	for _, tc := range kindProps {
+		if got := tc.kind.String(); got != tc.name {
+			t.Errorf("%d.String() = %q, want %q", tc.kind, got, tc.name)
+		}
+		if seen[tc.name] {
+			t.Errorf("kind name %q not unique", tc.name)
+		}
+		seen[tc.name] = true
+		if got := tc.kind.IsBranch(); got != tc.branch {
+			t.Errorf("%v.IsBranch() = %v, want %v", tc.kind, got, tc.branch)
+		}
+		if got := tc.kind.IsConditional(); got != tc.conditional {
+			t.Errorf("%v.IsConditional() = %v, want %v", tc.kind, got, tc.conditional)
+		}
+		if got := tc.kind.IsIndirect(); got != tc.indirect {
+			t.Errorf("%v.IsIndirect() = %v, want %v", tc.kind, got, tc.indirect)
+		}
+		// The paper's BTB accounting: every taken control-flow
+		// instruction needs a BTB entry, non-branches never do.
+		if got := tc.kind.NeedsBTB(); got != tc.branch {
+			t.Errorf("%v.NeedsBTB() = %v, want %v", tc.kind, got, tc.branch)
+		}
+	}
+}
+
+func TestKindStringOutOfRange(t *testing.T) {
+	if got := Kind(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("out-of-range kind String() = %q, want it to carry the raw value", got)
+	}
+}
+
+func TestNextPCAndFallThrough(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+		next Addr
+	}{
+		{"non-branch", Inst{PC: 0x1000, Size: 4, Kind: KindOther}, 0x1004},
+		{"not-taken branch", Inst{PC: 0x1000, Size: 2, Kind: KindCondDirect, Taken: false, Target: 0x2000}, 0x1002},
+		{"taken branch", Inst{PC: 0x1000, Size: 2, Kind: KindCondDirect, Taken: true, Target: 0x2000}, 0x2000},
+		{"taken other-kind ignores target", Inst{PC: 0x1000, Size: 4, Kind: KindOther, Taken: true, Target: 0x2000}, 0x1004},
+		{"return", Inst{PC: 0x1000, Size: 1, Kind: KindReturn, Taken: true, Target: 0x500}, 0x500},
+	}
+	for _, tc := range cases {
+		if got := tc.in.NextPC(); got != tc.next {
+			t.Errorf("%s: NextPC() = %#x, want %#x", tc.name, got, tc.next)
+		}
+		if got, want := tc.in.FallThrough(), tc.in.PC+Addr(tc.in.Size); got != want {
+			t.Errorf("%s: FallThrough() = %#x, want %#x", tc.name, got, want)
+		}
+	}
+}
+
+func TestBranchDirection(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+		dir  Direction
+		back bool
+	}{
+		{"not taken", Inst{PC: 0x1000, Kind: KindCondDirect, Taken: false, Target: 0x200}, DirNotTaken, false},
+		{"taken backward", Inst{PC: 0x1000, Kind: KindCondDirect, Taken: true, Target: 0xf00}, DirTakenBackward, true},
+		{"taken forward", Inst{PC: 0x1000, Kind: KindCondDirect, Taken: true, Target: 0x1100}, DirTakenForward, false},
+		// A taken branch to its own address is "forward" (not lower):
+		// the boundary case Table I's split depends on.
+		{"self target", Inst{PC: 0x1000, Kind: KindUncondDirect, Taken: true, Target: 0x1000}, DirTakenForward, false},
+	}
+	for _, tc := range cases {
+		if got := tc.in.BranchDirection(); got != tc.dir {
+			t.Errorf("%s: BranchDirection() = %v, want %v", tc.name, got, tc.dir)
+		}
+		if got := tc.in.IsBackward(); got != tc.back {
+			t.Errorf("%s: IsBackward() = %v, want %v", tc.name, got, tc.back)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	want := map[Direction]string{
+		DirNotTaken:      "not-taken",
+		DirTakenBackward: "taken-backward",
+		DirTakenForward:  "taken-forward",
+	}
+	if len(want) != NumDirections {
+		t.Fatalf("truth table covers %d directions, package defines %d", len(want), NumDirections)
+	}
+	for d, name := range want {
+		if got := d.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", d, got, name)
+		}
+	}
+	if got := Direction(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("out-of-range direction String() = %q, want it to carry the raw value", got)
+	}
+}

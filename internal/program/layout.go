@@ -135,6 +135,9 @@ func (l *layouter) layNode(n Node) {
 		bodyStart := l.cursor
 		l.layNode(v.Body)
 		l.layBranch(v.Back)
+		if l.err != nil {
+			return
+		}
 		v.Back.Kind = isa.KindCondDirect
 		v.Back.Target = bodyStart
 		if bodyStart >= v.Back.PC {
@@ -142,6 +145,9 @@ func (l *layouter) layNode(n Node) {
 		}
 	case *If:
 		l.layBranch(v.Cond)
+		if l.err != nil {
+			return
+		}
 		v.Cond.Kind = isa.KindCondDirect
 		l.layNode(v.Then)
 		if v.Else != nil {
@@ -161,13 +167,22 @@ func (l *layouter) layNode(n Node) {
 		}
 	case *Call:
 		l.layBranch(v.Site)
+		if l.err != nil {
+			return
+		}
 		v.Site.Kind = isa.KindCall
 		// Target fixed up after all functions are placed.
 	case *IndirectCall:
 		l.layBranch(v.Site)
+		if l.err != nil {
+			return
+		}
 		v.Site.Kind = isa.KindIndirectCall
 	case *Switch:
 		l.layBranch(v.Site)
+		if l.err != nil {
+			return
+		}
 		v.Site.Kind = isa.KindIndirectBranch
 		v.CaseJumps = make([]*Branch, len(v.Cases))
 		v.CaseAddrs = make([]isa.Addr, len(v.Cases))
@@ -185,6 +200,9 @@ func (l *layouter) layNode(n Node) {
 		}
 	case *Syscall:
 		l.layBranch(v.Site)
+		if l.err != nil {
+			return
+		}
 		v.Site.Kind = isa.KindSyscall
 	default:
 		l.fail(fmt.Errorf("unknown node type %T during layout", n))

@@ -14,15 +14,24 @@ import (
 // the canonical form below, the wire encoding of results, or simulator
 // semantics change in a way that makes old cached records stale — old
 // entries then simply stop matching instead of serving wrong data.
-const cacheKeyVersion = "sc1"
+//
+// sc1 -> sc2: the canonical spec grew the inline synth/v1 parameter set.
+// The version bump guarantees records written by sc1 builds (which could
+// not distinguish a synth scenario from a registered workload of the same
+// name) can never alias an sc2 shard in a shared cache directory, and
+// vice versa — the prefixes differ, so the key spaces are disjoint by
+// construction.
+const cacheKeyVersion = "sc2"
 
 // CacheKey returns the shard's content address: a versioned hash of the
-// canonicalized spec {workload, seed, insts, engine, observer}. Two specs
-// get the same key exactly when they denote the same deterministic
-// computation: the engine default is applied and the observer is
-// re-described through its expanded configuration (cfg.Spec()), so
+// canonicalized spec {workload, synth-params, seed, insts, engine,
+// observer}. Two specs get the same key exactly when they denote the same
+// deterministic computation: the engine default is applied, the observer
+// is re-described through its expanded configuration (cfg.Spec()), and
+// inline synth params are canonicalized (defaults made explicit), so
 // spelling differences in the request JSON — field order, engine omitted
-// versus explicit, equivalent option encodings — collapse to one key.
+// versus explicit, defaulted versus explicit knobs — collapse to one key,
+// while every knob that changes the generated program changes the key.
 // Invalid specs report ErrInvalidSpec.
 func (sp ShardSpec) CacheKey() (string, error) {
 	cfg, err := sp.Config()
@@ -42,6 +51,15 @@ func ShardCacheKey(sp ShardSpec, cfg ObserverConfig) string {
 		Insts:    sp.Insts,
 		Engine:   sp.Engine,
 		Observer: cfg.Spec(),
+	}
+	if sp.Synth != nil {
+		c, err := sp.Synth.Canonical()
+		if err != nil {
+			// Config validated the spec (the contract of this entry
+			// point), so the params canonicalize.
+			panic(fmt.Sprintf("sim: canonicalizing synth params for cache key: %v", err))
+		}
+		canon.Synth = &c
 	}
 	if canon.Engine == "" {
 		canon.Engine = EngineCompiled
@@ -79,6 +97,7 @@ func (s *Session) cachedShard(ctx context.Context, c *trace.Compiled, job *shard
 	}
 	spec := ShardSpec{
 		Workload: job.workload,
+		Synth:    job.synth,
 		Seed:     job.seed,
 		Insts:    norm.Insts,
 		Engine:   norm.Engine,

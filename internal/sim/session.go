@@ -7,9 +7,11 @@ import (
 	"sync"
 	"time"
 
+	"rebalance/internal/program"
 	"rebalance/internal/sim/shardcache"
 	"rebalance/internal/trace"
 	"rebalance/internal/workload"
+	"rebalance/internal/workload/synth"
 )
 
 // Session executes Specs. It is safe for concurrent use: compiled
@@ -24,6 +26,9 @@ type Session struct {
 
 	mu       sync.Mutex
 	compiled map[string]*compileEntry
+	// synthKeys tracks the compiled map's synth entries in insertion
+	// order, the FIFO behind maxSynthCompiled.
+	synthKeys []string
 }
 
 // compileEntry caches one workload's compilation; the once gate means
@@ -63,17 +68,56 @@ func (s *Session) SetMaxShards(n int) { s.maxShards = n }
 func (s *Session) SetRunner(r ShardRunner) { s.runner = r }
 
 // Compiled returns the session-cached compiled program for the named
-// workload, building and compiling it on first use.
+// registered workload, building and compiling it on first use.
 func (s *Session) Compiled(name string) (*trace.Compiled, error) {
+	return s.compile(name, false, func() (*program.Program, error) { return workload.Build(name) })
+}
+
+// maxSynthCompiled bounds how many distinct inline scenarios a session
+// keeps compiled at once. Registered workloads are a fixed set, but the
+// synth key space is open-ended — a long-lived simd worker serving knob
+// sweeps must not grow its compile cache without bound — so the synth
+// entries evict FIFO past this limit (a compile is milliseconds; an
+// evicted scenario that recurs just recompiles).
+const maxSynthCompiled = 64
+
+// CompiledSynth returns the session-cached compiled program for an inline
+// synth/v1 scenario. The cache key is the scenario's canonical form, not
+// its name: two runs may reuse one name for different knobs without
+// aliasing, and equal scenarios share one compilation however they are
+// spelled.
+func (s *Session) CompiledSynth(p *synth.Params) (*trace.Compiled, error) {
+	canon, err := p.CanonicalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	// Registered workload names cannot contain NUL, so the key space
+	// cannot collide with Compiled's.
+	key := "synth\x00" + string(canon)
+	params := *p
+	return s.compile(key, true, func() (*program.Program, error) { return synth.Build(params) })
+}
+
+// compile is the shared once-per-key compilation cache behind Compiled
+// and CompiledSynth. Callers still holding an entry's *trace.Compiled
+// are unaffected by eviction — entries are immutable once built.
+func (s *Session) compile(key string, isSynth bool, build func() (*program.Program, error)) (*trace.Compiled, error) {
 	s.mu.Lock()
-	e := s.compiled[name]
+	e := s.compiled[key]
 	if e == nil {
 		e = &compileEntry{}
-		s.compiled[name] = e
+		s.compiled[key] = e
+		if isSynth {
+			s.synthKeys = append(s.synthKeys, key)
+			if len(s.synthKeys) > maxSynthCompiled {
+				delete(s.compiled, s.synthKeys[0])
+				s.synthKeys = s.synthKeys[1:]
+			}
+		}
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
-		prog, err := workload.Build(name)
+		prog, err := build()
 		if err != nil {
 			e.err = err
 			return
@@ -84,8 +128,10 @@ func (s *Session) Compiled(name string) (*trace.Compiled, error) {
 }
 
 // shardJob is one unit of the {workload x observer-config x seed} grid.
+// synth is non-nil (and canonical) for inline synthetic workloads.
 type shardJob struct {
 	workload string
+	synth    *synth.Params
 	cfg      ObserverConfig
 	seed     uint64
 }
@@ -109,11 +155,17 @@ func (s *Session) Run(ctx context.Context, spec *Spec) (*Report, error) {
 			ErrInvalidSpec, nShards, len(norm.Workloads), len(configs), len(norm.Seeds), s.maxShards)
 	}
 
+	// Inline synth scenarios, by (canonical) name.
+	synthByName := make(map[string]*synth.Params, len(norm.Synth))
+	for i := range norm.Synth {
+		synthByName[norm.Synth[i].Name] = &norm.Synth[i]
+	}
+
 	var jobs []shardJob
 	for _, w := range norm.Workloads {
 		for _, cfg := range configs {
 			for _, seed := range norm.Seeds {
-				jobs = append(jobs, shardJob{workload: w, cfg: cfg, seed: seed})
+				jobs = append(jobs, shardJob{workload: w, synth: synthByName[w], cfg: cfg, seed: seed})
 			}
 		}
 	}
@@ -126,7 +178,13 @@ func (s *Session) Run(ctx context.Context, spec *Spec) (*Report, error) {
 	if s.runner == nil {
 		compiled = make(map[string]*trace.Compiled, len(norm.Workloads))
 		for _, w := range norm.Workloads {
-			c, err := s.Compiled(w)
+			var c *trace.Compiled
+			var err error
+			if p := synthByName[w]; p != nil {
+				c, err = s.CompiledSynth(p)
+			} else {
+				c, err = s.Compiled(w)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 			}
@@ -240,6 +298,7 @@ func (s *Session) runDispatched(ctx context.Context, norm *Spec, jobs []shardJob
 	for i, job := range jobs {
 		specs[i] = ShardSpec{
 			Workload: job.workload,
+			Synth:    job.synth,
 			Seed:     job.seed,
 			Insts:    norm.Insts,
 			Engine:   norm.Engine,

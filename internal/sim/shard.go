@@ -4,22 +4,27 @@ import (
 	"context"
 	"fmt"
 
+	"rebalance/internal/trace"
 	"rebalance/internal/wire"
 	"rebalance/internal/workload"
+	"rebalance/internal/workload/synth"
 )
 
 // ShardSpec names one shard of an expanded {workload x seed x
 // observer-config} grid as portable data: the workload and seed, the
 // per-shard instruction budget and engine, and an ObserverSpec that
-// expands to exactly one configuration. It is the request body of the
-// simd worker protocol (POST /v1/shards) and the unit the dispatch layer
-// schedules, retries, and fails over.
+// expands to exactly one configuration. A synthetic workload carries its
+// synth/v1 parameter set inline, so the spec stays self-contained: a
+// remote worker rebuilds the exact same program from the wire bytes. It
+// is the request body of the simd worker protocol (POST /v1/shards) and
+// the unit the dispatch layer schedules, retries, and fails over.
 type ShardSpec struct {
-	Workload string       `json:"workload"`
-	Seed     uint64       `json:"seed"`
-	Insts    int64        `json:"insts"`
-	Engine   string       `json:"engine,omitempty"`
-	Observer ObserverSpec `json:"observer"`
+	Workload string        `json:"workload"`
+	Synth    *synth.Params `json:"synth,omitempty"`
+	Seed     uint64        `json:"seed"`
+	Insts    int64         `json:"insts"`
+	Engine   string        `json:"engine,omitempty"`
+	Observer ObserverSpec  `json:"observer"`
 }
 
 // Config validates the shard spec and expands its observer to the single
@@ -31,7 +36,18 @@ func (sp *ShardSpec) Config() (ObserverConfig, error) {
 	if sp.Workload == "" {
 		return nil, fmt.Errorf("%w: no workload", ErrInvalidSpec)
 	}
-	if !workload.Has(sp.Workload) {
+	if sp.Synth != nil {
+		c, err := sp.Synth.Canonical()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+		}
+		if c.Name != sp.Workload {
+			return nil, fmt.Errorf("%w: shard workload %q does not match its synth params name %q", ErrInvalidSpec, sp.Workload, c.Name)
+		}
+		if workload.Has(c.Name) {
+			return nil, fmt.Errorf("%w: synth workload %q collides with a registered workload (ambiguous addressing)", ErrInvalidSpec, c.Name)
+		}
+	} else if !workload.Has(sp.Workload) {
 		return nil, fmt.Errorf("%w: unknown workload %q (have %v)", ErrInvalidSpec, sp.Workload, workload.Names())
 	}
 	if sp.Insts < 1 {
@@ -119,7 +135,12 @@ func (s *Session) RunShard(ctx context.Context, spec ShardSpec) (Shard, error) {
 	if err != nil {
 		return Shard{}, err
 	}
-	c, err := s.Compiled(spec.Workload)
+	var c *trace.Compiled
+	if spec.Synth != nil {
+		c, err = s.CompiledSynth(spec.Synth)
+	} else {
+		c, err = s.Compiled(spec.Workload)
+	}
 	if err != nil {
 		return Shard{}, err
 	}
@@ -127,6 +148,6 @@ func (s *Session) RunShard(ctx context.Context, spec ShardSpec) (Shard, error) {
 	if norm.Engine == "" {
 		norm.Engine = EngineCompiled
 	}
-	job := shardJob{workload: spec.Workload, cfg: cfg, seed: spec.Seed}
+	job := shardJob{workload: spec.Workload, synth: spec.Synth, cfg: cfg, seed: spec.Seed}
 	return s.cachedShard(ctx, c, &job, norm)
 }

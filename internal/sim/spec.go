@@ -7,6 +7,7 @@ import (
 
 	"rebalance/internal/wire"
 	"rebalance/internal/workload"
+	"rebalance/internal/workload/synth"
 )
 
 // ErrInvalidSpec wraps every validation failure so servers can map bad
@@ -37,10 +38,19 @@ const (
 // (workload.Register, RegisterObserver, bpred.RegisterConfig), so a Spec
 // serialized as JSON is a complete, portable description of an experiment.
 type Spec struct {
-	// Workloads names the workload models to run (workload.Names lists
-	// the registry). Every observer configuration runs over every
+	// Workloads names the workload models to run: registered names
+	// (workload.Names lists the registry) and the names of any inline
+	// Synth scenarios. Every observer configuration runs over every
 	// workload.
 	Workloads []string `json:"workloads"`
+	// Synth defines synthetic workloads inline as synth/v1 parameter
+	// sets, making the workload axis data the way the observer axis
+	// already is: no registration, no deploy — the params travel with
+	// the spec (and over the worker protocol, so remote workers build
+	// the exact same program). Each entry's Name must appear in
+	// Workloads and must not collide with a registered workload
+	// (ambiguous addressing). Normalization canonicalizes the entries.
+	Synth []synth.Params `json:"synth,omitempty"`
 	// Seeds are the explicit per-stream seeds. Leave empty and set
 	// SeedCount to use seeds 1..SeedCount.
 	Seeds []uint64 `json:"seeds,omitempty"`
@@ -76,6 +86,7 @@ func (s *Spec) normalized(maxSeeds int) (*Spec, error) {
 	}
 	out := &Spec{
 		Workloads: append([]string(nil), s.Workloads...),
+		Synth:     append([]synth.Params(nil), s.Synth...),
 		Seeds:     append([]uint64(nil), s.Seeds...),
 		Insts:     s.Insts,
 		Engine:    s.Engine,
@@ -84,18 +95,42 @@ func (s *Spec) normalized(maxSeeds int) (*Spec, error) {
 	if len(out.Workloads) == 0 {
 		return nil, fmt.Errorf("%w: no workloads", ErrInvalidSpec)
 	}
+	// Canonicalize the inline synth scenarios first, so the workload
+	// list below can resolve their names. The canonical forms replace
+	// the request's spellings: the normalized spec a Report echoes is
+	// the scenario's identity.
+	synthNames := map[string]bool{}
+	for i := range out.Synth {
+		c, err := out.Synth[i].Canonical()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+		}
+		if workload.Has(c.Name) {
+			return nil, fmt.Errorf("%w: synth workload %q collides with a registered workload (ambiguous addressing)", ErrInvalidSpec, c.Name)
+		}
+		if synthNames[c.Name] {
+			return nil, fmt.Errorf("%w: duplicate synth workload %q", ErrInvalidSpec, c.Name)
+		}
+		synthNames[c.Name] = true
+		out.Synth[i] = c
+	}
 	seenW := map[string]bool{}
 	for _, w := range out.Workloads {
 		if w == "" {
 			return nil, fmt.Errorf("%w: empty workload name", ErrInvalidSpec)
 		}
-		if !workload.Has(w) {
-			return nil, fmt.Errorf("%w: unknown workload %q (have %v)", ErrInvalidSpec, w, workload.Names())
+		if !workload.Has(w) && !synthNames[w] {
+			return nil, fmt.Errorf("%w: unknown workload %q (have %v; inline synth scenarios must be defined in the synth field)", ErrInvalidSpec, w, workload.Names())
 		}
 		if seenW[w] {
 			return nil, fmt.Errorf("%w: duplicate workload %q", ErrInvalidSpec, w)
 		}
 		seenW[w] = true
+	}
+	for i := range out.Synth {
+		if !seenW[out.Synth[i].Name] {
+			return nil, fmt.Errorf("%w: synth workload %q not listed in workloads", ErrInvalidSpec, out.Synth[i].Name)
+		}
 	}
 	if len(out.Seeds) == 0 {
 		n := s.SeedCount

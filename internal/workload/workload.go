@@ -45,8 +45,13 @@ func init() {
 
 // Register adds a named workload model to the registry, making it available
 // to every experiment driver that names workloads as data (the sim Spec,
-// rebalance-bench, simd). Registering an empty or duplicate name panics:
-// registration happens at init time and a collision is a programming error.
+// rebalance-bench, simd). Registering an empty or duplicate name panics with
+// a message naming the collision: registration happens at init time and a
+// collision is a programming error. This holds for synth-registered
+// families (synth.RegisterFamily) exactly as for hand-built profiles — and
+// because a registered name is the authoritative meaning of that workload,
+// the sim layer rejects inline synth parameter sets that reuse one
+// (ambiguous addressing).
 func Register(name string, build Builder) {
 	if build == nil {
 		panic("workload: Register with nil builder")
@@ -54,8 +59,11 @@ func Register(name string, build Builder) {
 	builders.Register(name, build)
 }
 
-// Names lists the registered workload models in registration order (the
-// built-in profiles first).
+// Names lists the registered workload models in registration order: the
+// built-in profiles first (in init order), then every later registration —
+// synth families included — in the order it happened. The ordering is a
+// contract: drivers that default to "all workloads" (rebalance-bench,
+// /v1/workloads listings) inherit it, and the workload/synth tests pin it.
 func Names() []string { return builders.Names() }
 
 // Has reports whether the named workload is registered, without building
