@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz vet fmt ci bench bench-go bench-sweep
+.PHONY: all build test race fuzz chaos vet fmt ci bench bench-go bench-sweep
 
 all: build
 
@@ -19,6 +19,17 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzDecodeSpec$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzDecodeShardResult$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim/shardcache -run '^$$' -fuzz '^FuzzDiskEntryCorruption$$' -fuzztime $(FUZZTIME)
+
+# chaos runs the seeded fault-injection soak suite race-instrumented: the
+# golden grid through a 3-backend dispatcher under transient faults must
+# be bit-identical to the committed golden, a poisoned grid under
+# -allow-partial must degrade to exactly the expected survivors, and a
+# corrupted disk cache must heal by recompute. Deterministic by
+# construction — a failure is a bug, not noise.
+chaos:
+	$(GO) test -race -v -run '^TestSoak' ./internal/sim/dispatch/chaos
+	$(GO) test -race -run 'Corruption|Corrupt' ./internal/sim/shardcache ./internal/sim/dispatch/chaos
 
 vet:
 	$(GO) vet ./...

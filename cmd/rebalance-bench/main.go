@@ -98,17 +98,21 @@ type report struct {
 	// dispatched run's concurrency lives on the workers, so Workers is 0
 	// there and Dispatched labels the run explicitly — per-worker rates
 	// must never be derived from a zero worker count.
-	GOMAXPROCS    int              `json:"gomaxprocs"`
-	Workers       int              `json:"workers"`
-	Dispatched    bool             `json:"dispatched,omitempty"`
-	InstsPerShard int64            `json:"insts_per_shard"`
-	Workloads     []string         `json:"workloads"`
-	Seeds         int              `json:"seeds"`
-	Shards        []benchShard     `json:"shards"`
-	Aggregates    []benchAggregate `json:"aggregates"`
-	TotalInsts    int64            `json:"total_insts"`
-	WallNS        int64            `json:"wall_ns"`
-	SweepMInstsPS float64          `json:"sweep_minsts_per_sec"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Workers       int          `json:"workers"`
+	Dispatched    bool         `json:"dispatched,omitempty"`
+	InstsPerShard int64        `json:"insts_per_shard"`
+	Workloads     []string     `json:"workloads"`
+	Seeds         int          `json:"seeds"`
+	Shards        []benchShard `json:"shards"`
+	// FailedShards lists grid cells abandoned after exhausting retries —
+	// only ever non-empty under -allow-partial, and absent from clean
+	// runs so historical BENCH_*.json records are unchanged.
+	FailedShards  []sim.FailedShard `json:"failed_shards,omitempty"`
+	Aggregates    []benchAggregate  `json:"aggregates"`
+	TotalInsts    int64             `json:"total_insts"`
+	WallNS        int64             `json:"wall_ns"`
+	SweepMInstsPS float64           `json:"sweep_minsts_per_sec"`
 	// PerWorkerMInstsPS is the sweep rate divided by the local pool size;
 	// 0 (omitted) for dispatched runs, where the divisor is meaningless.
 	PerWorkerMInstsPS float64      `json:"per_worker_minsts_per_sec,omitempty"`
@@ -124,10 +128,12 @@ func main() {
 		workersFlag   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
 		calibFlag     = flag.Int64("calibrate", 2_000_000, "instructions for the engine calibration run (0 disables)")
 		backendsFlag  = flag.String("backends", "", "comma-separated simd worker URLs; dispatch shards remotely instead of running locally")
+		partialFlag   = flag.Bool("allow-partial", false, "degrade instead of failing when shards exhaust their retries: completed shards are reported, abandoned ones become failed_shards entries")
+		hedgeFlag     = flag.Bool("hedge", false, "with -backends, duplicate straggling shards onto a second healthy worker after a latency-derived delay; first result wins")
 		outFlag       = flag.String("out", "", "write the JSON report to this file (default stdout)")
 	)
 	flag.Parse()
-	if err := run(*workloadsFlag, *synthFlag, *seedsFlag, *instsFlag, *workersFlag, *calibFlag, *backendsFlag, *outFlag); err != nil {
+	if err := run(*workloadsFlag, *synthFlag, *seedsFlag, *instsFlag, *workersFlag, *calibFlag, *backendsFlag, *partialFlag, *hedgeFlag, *outFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "rebalance-bench:", err)
 		os.Exit(1)
 	}
@@ -153,9 +159,12 @@ func parseWorkloads(csv string) ([]string, error) {
 	return names, nil
 }
 
-func run(workloadsCSV, synthCSV string, seeds int, insts int64, workers int, calibInsts int64, backendsCSV, out string) error {
+func run(workloadsCSV, synthCSV string, seeds int, insts int64, workers int, calibInsts int64, backendsCSV string, allowPartial, hedge bool, out string) error {
 	if seeds < 1 || insts < 1 || workers < 1 {
 		return fmt.Errorf("seeds, insts, and workers must be positive")
+	}
+	if hedge && backendsCSV == "" {
+		return fmt.Errorf("-hedge needs -backends: a local pool has no second worker to duplicate stragglers onto")
 	}
 	var names []string
 	var err error
@@ -191,21 +200,30 @@ func run(workloadsCSV, synthCSV string, seeds int, insts int64, workers int, cal
 		if err != nil {
 			return err
 		}
-		d, err := dispatch.New(backends, dispatch.Options{MaxInFlight: workers})
+		d, err := dispatch.New(backends, dispatch.Options{
+			MaxInFlight:  workers,
+			AllowPartial: allowPartial,
+			Hedge:        hedge,
+		})
 		if err != nil {
 			return err
 		}
 		sess.SetRunner(d)
 	}
 	simRep, err := sess.Run(context.Background(), &sim.Spec{
-		Workloads: specWorkloads,
-		Synth:     synthSets,
-		SeedCount: seeds,
-		Insts:     insts,
-		Observers: []sim.ObserverSpec{{Kind: "bpred"}},
+		Workloads:    specWorkloads,
+		Synth:        synthSets,
+		SeedCount:    seeds,
+		Insts:        insts,
+		Observers:    []sim.ObserverSpec{{Kind: "bpred"}},
+		AllowPartial: allowPartial,
 	})
 	if err != nil {
 		return err
+	}
+	if n := len(simRep.FailedShards); n > 0 {
+		fmt.Fprintf(os.Stderr, "rebalance-bench: warning: degraded sweep: %d of %d shards abandoned after retries; aggregates cover survivors only\n",
+			n, n+len(simRep.Shards))
 	}
 
 	rep, err := buildReport(simRep, backendsCSV != "")
@@ -330,6 +348,7 @@ func buildReport(simRep *sim.Report, dispatched bool) (*report, error) {
 		Workloads:     simRep.Spec.Workloads,
 		Seeds:         len(simRep.Spec.Seeds),
 		Shards:        shards,
+		FailedShards:  simRep.FailedShards,
 		Aggregates:    aggs,
 		TotalInsts:    simRep.TotalInsts,
 		WallNS:        simRep.WallNS,

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -148,10 +151,10 @@ func TestBackendsDispatchMatchesLocal(t *testing.T) {
 	dir := t.TempDir()
 	localOut := filepath.Join(dir, "local.json")
 	remoteOut := filepath.Join(dir, "remote.json")
-	if err := run("comd-lite", "", 2, 20_000, 2, 0, "", localOut); err != nil {
+	if err := run("comd-lite", "", 2, 20_000, 2, 0, "", false, false, localOut); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("comd-lite", "", 2, 20_000, 2, 0, w1.URL+","+w2.URL, remoteOut); err != nil {
+	if err := run("comd-lite", "", 2, 20_000, 2, 0, w1.URL+","+w2.URL, false, false, remoteOut); err != nil {
 		t.Fatal(err)
 	}
 	local, remote := normalize(localOut), normalize(remoteOut)
@@ -306,13 +309,13 @@ func TestSynthSweepDispatchedAndDeterministic(t *testing.T) {
 		"cold2":      filepath.Join(dir, "cold2.json"),
 		"dispatched": filepath.Join(dir, "dispatched.json"),
 	}
-	if err := run("", grid, 2, 20_000, 2, 0, "", paths["cold1"]); err != nil {
+	if err := run("", grid, 2, 20_000, 2, 0, "", false, false, paths["cold1"]); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", grid, 2, 20_000, 2, 0, "", paths["cold2"]); err != nil {
+	if err := run("", grid, 2, 20_000, 2, 0, "", false, false, paths["cold2"]); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", grid, 2, 20_000, 2, 0, w1.URL+","+w2.URL, paths["dispatched"]); err != nil {
+	if err := run("", grid, 2, 20_000, 2, 0, w1.URL+","+w2.URL, false, false, paths["dispatched"]); err != nil {
 		t.Fatal(err)
 	}
 
@@ -338,5 +341,86 @@ func TestSynthSweepDispatchedAndDeterministic(t *testing.T) {
 func TestParseSynthGridRejectsRepeatedAxis(t *testing.T) {
 	if _, err := parseSynthGrid("bias=0.6,0.8;bias=0.9"); err == nil || !strings.Contains(err.Error(), "twice") {
 		t.Errorf("repeated axis: err = %v, want rejection (later values would silently overwrite earlier ones)", err)
+	}
+}
+
+// TestAllowPartialDegradedSweep drives the -allow-partial path end to end:
+// two workers that deterministically reject every seed-2 shard (with a
+// 400, so the rejection is never retried and never blamed). The degraded
+// sweep must report exactly the seed-1 survivors, list the seed-2 cells
+// as failed_shards, and aggregate over one seed — while the same sweep
+// without -allow-partial stays all-or-nothing and fails.
+func TestAllowPartialDegradedSweep(t *testing.T) {
+	rejectSeed2 := func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if bytes.Contains(body, []byte(`"seed":2`)) || bytes.Contains(body, []byte(`"seed": 2`)) {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusBadRequest)
+				_, _ = w.Write([]byte(`{"error": "scripted rejection of seed 2"}`))
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			inner.ServeHTTP(w, r)
+		})
+	}
+	w1 := httptest.NewServer(rejectSeed2(dispatch.WorkerHandler(sim.NewSession(1), 0)))
+	defer w1.Close()
+	w2 := httptest.NewServer(rejectSeed2(dispatch.WorkerHandler(sim.NewSession(1), 0)))
+	defer w2.Close()
+	backends := w1.URL + "," + w2.URL
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "partial.json")
+	if err := run("comd-lite", "", 2, 20_000, 2, 0, backends, true, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 * 1 * 9; len(rep.Shards) != want {
+		t.Fatalf("degraded sweep has %d shards, want %d seed-1 survivors", len(rep.Shards), want)
+	}
+	for i := range rep.Shards {
+		if rep.Shards[i].Seed != 1 {
+			t.Errorf("survivor %d has seed %d, want 1", i, rep.Shards[i].Seed)
+		}
+	}
+	if want := 9; len(rep.FailedShards) != want {
+		t.Fatalf("failed_shards has %d entries, want %d (every seed-2 cell)", len(rep.FailedShards), want)
+	}
+	for _, f := range rep.FailedShards {
+		if f.Workload != "comd-lite" || f.Seed != 2 {
+			t.Errorf("failed shard = %+v, want a comd-lite seed-2 cell", f)
+		}
+		if !strings.Contains(f.Error, "scripted rejection") {
+			t.Errorf("failed shard error = %q, want the worker's own message", f.Error)
+		}
+	}
+	for _, a := range rep.Aggregates {
+		if a.Seeds != 1 {
+			t.Errorf("%s/%s aggregates %d seeds, want 1 (survivors only)", a.Workload, a.Predictor, a.Seeds)
+		}
+	}
+
+	// All-or-nothing remains the default contract.
+	if err := run("comd-lite", "", 2, 20_000, 2, 0, backends, false, false, filepath.Join(dir, "strict.json")); err == nil {
+		t.Fatal("sweep with a permanently failing cell succeeded without -allow-partial")
+	}
+}
+
+func TestHedgeNeedsBackends(t *testing.T) {
+	err := run("comd-lite", "", 1, 1000, 1, 0, "", false, true, filepath.Join(t.TempDir(), "x.json"))
+	if err == nil || !strings.Contains(err.Error(), "-backends") {
+		t.Fatalf("run with -hedge and no -backends = %v, want refusal", err)
 	}
 }

@@ -439,3 +439,44 @@ func TestSynthEndpointAndRun(t *testing.T) {
 		t.Errorf("worker synth shard: %+v", shard)
 	}
 }
+
+// TestRunAllowPartialRoundTrip: a spec carrying allow_partial decodes,
+// runs, and echoes the flag in the report's normalized spec — the wire
+// contract front-ends rely on when requesting degradable sweeps. A clean
+// run must still carry no failed_shards key.
+func TestRunAllowPartialRoundTrip(t *testing.T) {
+	srv := testServer(t)
+	spec := `{
+		"workloads": ["comd-lite"],
+		"seed_count": 1,
+		"insts": 20000,
+		"observers": [{"kind": "bbl"}],
+		"allow_partial": true
+	}`
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/runs: status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Spec struct {
+			AllowPartial bool `json:"allow_partial"`
+		} `json:"spec"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Spec.AllowPartial {
+		t.Error("report spec does not echo allow_partial")
+	}
+	if strings.Contains(string(raw), "failed_shards") {
+		t.Error("clean run leaks a failed_shards key")
+	}
+}

@@ -18,7 +18,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rebalance/internal/sim"
@@ -33,6 +36,21 @@ type Backend interface {
 	// base URL).
 	Name() string
 }
+
+// Prober is an optional Backend capability: a cheap liveness check that
+// costs no shard attempt. When a dead backend's revival cooldown expires,
+// the Dispatcher probes it asynchronously (one probe at a time) instead
+// of sacrificing a real shard attempt on a possibly-still-dead worker;
+// only a successful probe readmits it to scheduling. Backends without
+// Probe fall back to the single-shard probe. Probe must be safe for use
+// from a background goroutine and should answer within probeTimeout.
+type Prober interface {
+	Probe(ctx context.Context) error
+}
+
+// probeTimeout bounds one asynchronous revival probe, so a hung health
+// endpoint cannot pin a backend in the probing state indefinitely.
+const probeTimeout = 5 * time.Second
 
 // LocalBackend runs shards on this process through a sim.Session,
 // reusing its compiled-program cache.
@@ -59,9 +77,17 @@ type Options struct {
 	// (default 3). Attempts after a failure prefer a different backend —
 	// the failover path.
 	Attempts int
-	// Backoff is the delay before a shard's second attempt, doubling per
-	// subsequent attempt (default 100ms). The sleep is context-aware.
+	// Backoff is the cap on the delay before a shard's second attempt,
+	// doubling per subsequent attempt (default 100ms). The actual sleep
+	// is drawn uniformly from [0, cap) — full jitter — so concurrent
+	// shards that failed together do not retry in lockstep and hammer a
+	// recovering worker as a thundering herd. The sleep is context-aware.
 	Backoff time.Duration
+	// Rand, when non-nil, supplies the uniform [0,1) draws behind the
+	// backoff jitter (and must be safe for concurrent use); nil selects
+	// the global math/rand source. Tests inject a deterministic sequence
+	// here so timing assertions stay reproducible.
+	Rand func() float64
 	// FailThreshold marks a backend dead after this many consecutive
 	// failures (default 3). Dead backends are skipped while any live one
 	// remains; a success resets the count. Only failures attributable to
@@ -90,6 +116,44 @@ type Options struct {
 	// cold shard then records a miss at both; give the layers separate
 	// caches when per-layer hit rates matter.
 	Cache *shardcache.Cache
+	// AllowPartial degrades exhausted shards instead of failing the run:
+	// when a shard burns its whole attempt budget (or hits an error no
+	// backend can fix, like a worker-rejected spec), RunShards keeps
+	// executing the rest of the grid and returns the completed shards
+	// together with a *sim.PartialError enumerating the abandoned
+	// indices. The default (false) keeps the all-or-nothing contract: the
+	// first exhausted shard aborts the run. Cancellation always aborts.
+	AllowPartial bool
+	// Hedge duplicates straggling shard attempts onto a second healthy
+	// backend: when a backend call outlives the hedge delay, the same
+	// shard is issued to a different live backend, the first result wins,
+	// and the loser is cancelled. Safe because shard results are
+	// deterministic and content-addressed — the winner is bit-identical
+	// whichever backend produced it — and hedges never double-count
+	// blame (a cancelled loser is not a backend failure) or cache writes
+	// (only the winning result is written back). A hedge takes a normal
+	// in-flight slot and is skipped when the pool is saturated, so
+	// hedging never amplifies load on an overloaded dispatcher.
+	Hedge bool
+	// HedgeDelay fixes the straggler threshold; > 0 implies Hedge. When
+	// zero with Hedge set, the delay is derived from observed attempt
+	// latencies (2x the p95 of a sliding window), so only genuine tail
+	// stragglers are duplicated; until a first latency sample exists no
+	// hedge fires.
+	HedgeDelay time.Duration
+}
+
+// Stats are cumulative counters over a Dispatcher's lifetime — the
+// observability hook chaos and hedging tests (and logging coordinators)
+// read.
+type Stats struct {
+	// Hedges counts hedge attempts launched; HedgeWins counts shards
+	// whose winning result came from the hedge rather than the primary.
+	Hedges    int64
+	HedgeWins int64
+	// Probes counts asynchronous revival probes launched on dead
+	// backends that implement Prober.
+	Probes int64
 }
 
 // Dispatcher schedules shard grids over a fixed set of backends. It
@@ -104,7 +168,17 @@ type Dispatcher struct {
 	// RunShards call.
 	sem chan struct{}
 
-	mu sync.Mutex // guards the fields inside each backendState
+	mu sync.Mutex // guards the fields inside each backendState and the latency window
+	// latWindow is a sliding window of successful attempt latencies, the
+	// input to the derived hedge delay. latCount saturates at the window
+	// size; latNext is the ring write position.
+	latWindow [64]time.Duration
+	latCount  int
+	latNext   int
+
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	probes    atomic.Int64
 }
 
 // backendState tracks one backend's scheduling state.
@@ -115,9 +189,14 @@ type backendState struct {
 	// deadSince is when fails crossed the threshold (or the last failed
 	// revival probe); zero while live.
 	deadSince time.Time
-	// probing marks an in-flight revival probe, so an expired cooldown
-	// admits exactly one shard instead of a burst.
+	// probing marks an in-flight single-shard revival probe (backends
+	// without Probe), so an expired cooldown admits exactly one shard
+	// instead of a burst.
 	probing bool
+	// asyncProbe marks an in-flight background Probe call — the
+	// single-prober invariant for Prober backends. Kept separate from
+	// probing because settle (a shard outcome) must never clear it.
+	asyncProbe bool
 }
 
 // New returns a Dispatcher over the given backends. At least one backend
@@ -149,10 +228,14 @@ func New(backends []Backend, opts Options) (*Dispatcher, error) {
 }
 
 // RunShards implements sim.ShardRunner: it executes every spec and returns
-// the shards index-aligned with the input. The first shard to exhaust its
-// attempts (or a cancelled context) aborts the run; in-flight shards are
-// cancelled and the error is returned once every worker has exited, so no
-// goroutines outlive the call.
+// the shards index-aligned with the input. By default the first shard to
+// exhaust its attempts (or a cancelled context) aborts the run; in-flight
+// shards are cancelled and the error is returned once every worker has
+// exited. With Options.AllowPartial, exhausted shards do not abort: the
+// rest of the grid keeps executing and RunShards returns the completed
+// shards together with a *sim.PartialError enumerating the abandoned
+// indices (their positions in the shard slice are zero-valued).
+// Cancellation aborts either way.
 func (d *Dispatcher) RunShards(ctx context.Context, specs []sim.ShardSpec) ([]sim.Shard, error) {
 	if len(specs) == 0 {
 		return nil, nil
@@ -162,6 +245,7 @@ func (d *Dispatcher) RunShards(ctx context.Context, specs []sim.ShardSpec) ([]si
 
 	shards := make([]sim.Shard, len(specs))
 	errs := make([]error, len(specs))
+	attempts := make([]int, len(specs))
 	next := make(chan int, len(specs))
 	for i := range specs {
 		next <- i
@@ -182,8 +266,8 @@ func (d *Dispatcher) RunShards(ctx context.Context, specs []sim.ShardSpec) ([]si
 					errs[i] = ctx.Err()
 					continue
 				}
-				shards[i], errs[i] = d.runOne(ctx, specs[i])
-				if errs[i] != nil {
+				shards[i], attempts[i], errs[i] = d.runOne(ctx, specs[i])
+				if errs[i] != nil && !d.opts.AllowPartial {
 					cancel() // abort the rest promptly
 				}
 			}
@@ -194,6 +278,7 @@ func (d *Dispatcher) RunShards(ctx context.Context, specs []sim.ShardSpec) ([]si
 	// Report the most informative error: a real shard failure over the
 	// cancellations it caused.
 	var ctxErr error
+	var failures []sim.ShardFailure
 	for i, err := range errs {
 		if err == nil {
 			continue
@@ -204,13 +289,32 @@ func (d *Dispatcher) RunShards(ctx context.Context, specs []sim.ShardSpec) ([]si
 			}
 			continue
 		}
-		return nil, fmt.Errorf("dispatch: shard {%s %s seed %d}: %w",
-			specs[i].Workload, specs[i].Observer.Kind, specs[i].Seed, err)
+		failures = append(failures, sim.ShardFailure{
+			Index:    i,
+			Attempts: attempts[i],
+			Err: fmt.Errorf("dispatch: shard {%s %s seed %d}: %w",
+				specs[i].Workload, specs[i].Observer.Kind, specs[i].Seed, err),
+		})
 	}
+	if !d.opts.AllowPartial {
+		if len(failures) > 0 {
+			return nil, failures[0].Err
+		}
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
+		return shards, nil
+	}
+	// Partial mode never self-cancels, so a context error here is the
+	// caller's cancellation — that still aborts.
 	if ctxErr != nil {
 		return nil, ctxErr
 	}
-	return shards, nil
+	if len(failures) == 0 {
+		return shards, nil
+	}
+	sort.Slice(failures, func(a, b int) bool { return failures[a].Index < failures[b].Index })
+	return shards, &sim.PartialError{Failures: failures}
 }
 
 // attemptTimeout resolves the per-attempt deadline for a shard: the
@@ -226,26 +330,27 @@ func (d *Dispatcher) attemptTimeout(spec sim.ShardSpec) time.Duration {
 	}
 }
 
-// runOne executes one shard with the per-shard retry/failover policy. A
+// runOne executes one shard with the per-shard retry/failover policy,
+// returning the backend attempts consumed alongside the outcome. A
 // dispatcher-wide slot is held only while a backend call is in flight —
 // never across a backoff sleep — so one shard retrying against a flaky
 // backend cannot stall others that could run on healthy idle backends.
 // With a cache configured, the shard's content address is consulted
 // before any slot is taken, and a fetched result is written back.
-func (d *Dispatcher) runOne(ctx context.Context, spec sim.ShardSpec) (sim.Shard, error) {
+func (d *Dispatcher) runOne(ctx context.Context, spec sim.ShardSpec) (sim.Shard, int, error) {
 	var cacheKey string
 	if d.opts.Cache != nil {
 		cfg, err := spec.Config()
 		if err != nil {
 			// The spec is unrunnable on any backend; same no-retry exit the
 			// attempt loop would take.
-			return sim.Shard{}, err
+			return sim.Shard{}, 0, err
 		}
 		cacheKey = sim.ShardCacheKey(spec, cfg)
 		if data, ok := d.opts.Cache.Get(cacheKey); ok {
 			if sh, err := sim.DecodeShard(data, spec, cfg); err == nil {
 				sh.Cached = true
-				return sh, nil
+				return sh, 0, nil
 			}
 			// The stored record no longer decodes; drop it and fall through
 			// to a real backend attempt.
@@ -256,105 +361,289 @@ func (d *Dispatcher) runOne(ctx context.Context, spec sim.ShardSpec) (sim.Shard,
 	var lastBackend *backendState
 	for attempt := 0; attempt < d.opts.Attempts; attempt++ {
 		if attempt > 0 {
-			// Exponential backoff before every retry, context-aware so a
+			// Full-jitter backoff before every retry: the cap doubles per
+			// attempt and the sleep is drawn uniformly from [0, cap), so
+			// shards that failed together spread out instead of hammering
+			// a recovering worker in lockstep. Context-aware so a
 			// cancelled run does not sit in a sleep.
-			delay := d.opts.Backoff << (attempt - 1)
+			capDelay := d.opts.Backoff << (attempt - 1)
+			delay := time.Duration(d.rand() * float64(capDelay))
 			select {
 			case <-ctx.Done():
-				return sim.Shard{}, ctx.Err()
+				return sim.Shard{}, attempt, ctx.Err()
 			case <-time.After(delay):
 			}
 		}
-		// Take a dispatcher-wide slot, so concurrent RunShards calls
-		// cannot multiply the in-flight bound.
-		select {
-		case d.sem <- struct{}{}:
-		case <-ctx.Done():
-			return sim.Shard{}, ctx.Err()
-		}
-		sh, bs, err := d.attemptOne(ctx, spec, lastBackend)
-		<-d.sem
+		sh, bs, err := d.raceAttempt(ctx, spec, lastBackend)
 		if err == nil {
 			if d.opts.Cache != nil {
 				// Write back the canonical cold record: strip the serving
 				// backend's own cache mark so stored bytes are identical
-				// whichever tier produced them.
+				// whichever tier produced them. Only the winning result of
+				// a hedged attempt reaches this point, so a hedge never
+				// writes twice.
 				cold := sh
 				cold.Cached = false
 				if enc, err := sim.EncodeShard(cold); err == nil {
 					d.opts.Cache.Put(cacheKey, enc)
 				}
 			}
-			return sh, nil
+			return sh, attempt + 1, nil
 		}
 		if ctx.Err() != nil {
-			return sim.Shard{}, ctx.Err()
+			return sim.Shard{}, attempt + 1, ctx.Err()
 		}
 		if errors.Is(err, sim.ErrInvalidSpec) {
 			// The shard itself is unrunnable; retrying elsewhere cannot
 			// help.
-			return sim.Shard{}, err
+			return sim.Shard{}, attempt + 1, err
 		}
 		if bs == nil {
 			// Nothing eligible to run on.
 			if lastErr == nil {
-				return sim.Shard{}, err
+				return sim.Shard{}, attempt + 1, err
 			}
-			return sim.Shard{}, fmt.Errorf("%w (last error: %v)", err, lastErr)
+			return sim.Shard{}, attempt + 1, fmt.Errorf("%w (last error: %v)", err, lastErr)
 		}
 		lastErr = fmt.Errorf("backend %s: %w", bs.b.Name(), err)
 		lastBackend = bs
 	}
-	return sim.Shard{}, fmt.Errorf("shard failed after %d attempts: %w", d.opts.Attempts, lastErr)
+	return sim.Shard{}, d.opts.Attempts, fmt.Errorf("shard failed after %d attempts: %w", d.opts.Attempts, lastErr)
 }
 
-// attemptOne makes a single backend attempt while the caller holds an
-// in-flight slot, returning the backend it picked (nil when none was
-// eligible).
-func (d *Dispatcher) attemptOne(ctx context.Context, spec sim.ShardSpec, avoid *backendState) (sim.Shard, *backendState, error) {
-	bs := d.pick(avoid)
-	if bs == nil {
+// rand returns one uniform [0,1) draw from the configured jitter source.
+func (d *Dispatcher) rand() float64 {
+	if d.opts.Rand != nil {
+		return d.opts.Rand()
+	}
+	return rand.Float64()
+}
+
+// attemptResult is one backend call's outcome inside a raceAttempt.
+type attemptResult struct {
+	sh    sim.Shard
+	bs    *backendState
+	err   error
+	hedge bool
+}
+
+// raceAttempt makes one logical attempt at the shard: a primary backend
+// call, plus — when hedging is enabled and the primary outlives the hedge
+// delay — a duplicate of the same shard on a second live backend. The
+// first success wins and cancels the other call; the loser settles its
+// backend's health on its own goroutine (a hedge cancellation is never
+// blamed) and its result is discarded, so hedges never double-count blame
+// or cache writes. Each call holds its own dispatcher-wide slot, acquired
+// blocking for the primary and non-blocking for the hedge: a saturated
+// pool skips the hedge rather than adding load. Returns the backend whose
+// outcome was used (nil when none was eligible).
+func (d *Dispatcher) raceAttempt(ctx context.Context, spec sim.ShardSpec, avoid *backendState) (sim.Shard, *backendState, error) {
+	// Take a dispatcher-wide slot for the primary, so concurrent RunShards
+	// calls cannot multiply the in-flight bound.
+	select {
+	case d.sem <- struct{}{}:
+	case <-ctx.Done():
+		return sim.Shard{}, nil, ctx.Err()
+	}
+	primary := d.pick(avoid)
+	if primary == nil {
+		<-d.sem
 		return sim.Shard{}, nil, fmt.Errorf("all %d backends dead", len(d.backends))
 	}
-	// Bound the attempt so a hung worker becomes a retryable failure the
-	// failover machinery handles, instead of wedging the run.
-	actx := ctx
-	if to := d.attemptTimeout(spec); to > 0 {
-		var cancel context.CancelFunc
-		actx, cancel = context.WithTimeout(ctx, to)
-		defer cancel()
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	resc := make(chan attemptResult, 2) // buffered: a loser never blocks
+	go func() {
+		sh, err := d.callOn(actx, primary, spec)
+		<-d.sem
+		resc <- attemptResult{sh: sh, bs: primary, err: err}
+	}()
+
+	var hedgec <-chan time.Time
+	if delay, ok := d.hedgeDelay(); ok {
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		hedgec = timer.C
 	}
-	sh, err := bs.b.RunShard(actx, spec)
-	// Only failures attributable to the backend count toward its health:
-	// a cancelled run or an unrunnable shard says nothing about the
-	// worker. An attempt timeout (actx expired, ctx did not) does blame
-	// the backend — that is exactly the hung-worker case.
-	blame := err != nil && ctx.Err() == nil && !errors.Is(err, sim.ErrInvalidSpec)
-	d.settle(bs, err == nil, blame)
-	return sh, bs, err
+
+	launched := 1
+	for {
+		select {
+		case res := <-resc:
+			launched--
+			if res.err == nil {
+				cancel() // the loser, if any, aborts promptly
+				if res.hedge {
+					d.hedgeWins.Add(1)
+				}
+				return res.sh, res.bs, nil
+			}
+			if launched > 0 {
+				continue // the other call is still racing; wait for it
+			}
+			return sim.Shard{}, res.bs, res.err
+		case <-hedgec:
+			hedgec = nil // at most one hedge per attempt
+			// A hedge needs a free slot right now and a *different* live
+			// backend — a saturated pool or a lone healthy worker means a
+			// duplicate would add load without cutting tail latency.
+			select {
+			case d.sem <- struct{}{}:
+			default:
+				continue
+			}
+			hb := d.pickLive(primary)
+			if hb == nil {
+				<-d.sem
+				continue
+			}
+			d.hedges.Add(1)
+			launched++
+			go func() {
+				sh, err := d.callOn(actx, hb, spec)
+				<-d.sem
+				resc <- attemptResult{sh: sh, bs: hb, err: err, hedge: true}
+			}()
+		}
+	}
 }
 
-// eligible reports whether the backend may receive work: live, or dead
-// long enough (ReviveAfter) that it deserves a probe — but only one
-// probe at a time. Callers hold d.mu.
+// callOn runs one backend call and settles that backend's health. actx is
+// the attempt's cancellable context: blame is judged against it, so a call
+// cancelled because the run ended or the other side of a hedge won is
+// never a backend failure.
+func (d *Dispatcher) callOn(actx context.Context, bs *backendState, spec sim.ShardSpec) (sim.Shard, error) {
+	// Bound the call so a hung worker becomes a retryable failure the
+	// failover machinery handles, instead of wedging the run.
+	cctx := actx
+	if to := d.attemptTimeout(spec); to > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(actx, to)
+		defer cancel()
+	}
+	start := time.Now()
+	sh, err := bs.b.RunShard(cctx, spec)
+	// Only failures attributable to the backend count toward its health:
+	// a cancelled run, a lost hedge race, or an unrunnable shard says
+	// nothing about the worker. An attempt timeout (cctx expired, actx
+	// did not) does blame the backend — that is exactly the hung-worker
+	// case.
+	blame := err != nil && actx.Err() == nil && !errors.Is(err, sim.ErrInvalidSpec)
+	d.settle(bs, err == nil, blame)
+	if err == nil {
+		d.observeLatency(time.Since(start))
+	}
+	return sh, err
+}
+
+// observeLatency records one successful attempt's latency in the sliding
+// window behind the derived hedge delay.
+func (d *Dispatcher) observeLatency(dur time.Duration) {
+	d.mu.Lock()
+	d.latWindow[d.latNext] = dur
+	d.latNext = (d.latNext + 1) % len(d.latWindow)
+	if d.latCount < len(d.latWindow) {
+		d.latCount++
+	}
+	d.mu.Unlock()
+}
+
+// hedgeDelay resolves the straggler threshold for one attempt: the fixed
+// HedgeDelay when set, otherwise twice the p95 of the observed latency
+// window. Reports false when hedging is off or no sample exists yet —
+// with nothing observed there is no notion of "straggling".
+func (d *Dispatcher) hedgeDelay() (time.Duration, bool) {
+	if d.opts.HedgeDelay > 0 {
+		return d.opts.HedgeDelay, true
+	}
+	if !d.opts.Hedge {
+		return 0, false
+	}
+	d.mu.Lock()
+	n := d.latCount
+	samples := make([]time.Duration, n)
+	copy(samples, d.latWindow[:n])
+	d.mu.Unlock()
+	if n == 0 {
+		return 0, false
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	delay := 2 * samples[(n*95)/100]
+	if delay <= 0 {
+		return 0, false
+	}
+	return delay, true
+}
+
+// eligible reports whether the backend may receive work: live, or — for
+// backends without a cheap Probe — dead long enough (ReviveAfter) that it
+// deserves a single-shard probe. Dead Prober backends are never eligible:
+// they revive only through maybeProbe's asynchronous health check, so
+// revival never sacrifices a real shard attempt. Callers hold d.mu.
 func (d *Dispatcher) eligible(bs *backendState) bool {
 	if bs.fails < d.opts.FailThreshold {
 		return true
 	}
+	if _, ok := bs.b.(Prober); ok {
+		return false
+	}
 	return !bs.probing && time.Since(bs.deadSince) >= d.opts.ReviveAfter
 }
 
+// maybeProbe launches one asynchronous revival probe on a dead Prober
+// backend whose cooldown expired. The asyncProbe flag is the single-prober
+// invariant: at most one probe per backend is in flight, and only probe
+// itself clears the flag — a shard settling concurrently cannot. Caller
+// holds d.mu; the probe runs on its own goroutine with its own timeout so
+// scheduling never blocks on a health check.
+func (d *Dispatcher) maybeProbe(bs *backendState) {
+	if bs.fails < d.opts.FailThreshold || bs.asyncProbe {
+		return
+	}
+	p, ok := bs.b.(Prober)
+	if !ok || time.Since(bs.deadSince) < d.opts.ReviveAfter {
+		return
+	}
+	bs.asyncProbe = true
+	d.probes.Add(1)
+	go d.probe(bs, p)
+}
+
+// probe runs one revival probe to completion and applies the verdict: a
+// success fully revives the backend; a failure restarts its dead period.
+func (d *Dispatcher) probe(bs *backendState, p Prober) {
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	err := p.Probe(ctx)
+	cancel()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bs.asyncProbe = false
+	switch {
+	case err == nil:
+		bs.fails = 0
+		bs.deadSince = time.Time{}
+	case bs.fails >= d.opts.FailThreshold:
+		// Still dead: restart the cooldown. A backend revived meanwhile
+		// (a pre-death in-flight shard succeeded) keeps its live state —
+		// a stale probe verdict must not re-kill it.
+		bs.deadSince = time.Now()
+	}
+}
+
 // pick selects the eligible backend with the fewest in-flight shards,
-// reserving a slot on it. A backend whose dead period expired competes
-// like a live one, so revival probes happen even when other backends are
-// idle. A retry avoids the backend that just failed (avoid) when any
-// other eligible backend exists — the failover choice. When nothing is
-// eligible, pick returns nil.
+// reserving a slot on it. A non-Prober backend whose dead period expired
+// competes like a live one, so revival probes happen even when other
+// backends are idle; dead Prober backends instead get an asynchronous
+// health check launched here. A retry avoids the backend that just failed
+// (avoid) when any other eligible backend exists — the failover choice.
+// When nothing is eligible, pick returns nil.
 func (d *Dispatcher) pick(avoid *backendState) *backendState {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var best *backendState
 	for _, bs := range d.backends {
+		d.maybeProbe(bs)
 		if bs == avoid || !d.eligible(bs) {
 			continue
 		}
@@ -371,6 +660,28 @@ func (d *Dispatcher) pick(avoid *backendState) *backendState {
 		if best.fails >= d.opts.FailThreshold {
 			best.probing = true // this shard is the revival probe
 		}
+	}
+	return best
+}
+
+// pickLive selects the least-loaded live backend other than exclude — the
+// hedge target. Unlike pick it never admits a dead backend (a hedge is a
+// tail-latency cut, not a revival probe) and never falls back to exclude:
+// duplicating a shard onto the backend already running it is pointless.
+func (d *Dispatcher) pickLive(exclude *backendState) *backendState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var best *backendState
+	for _, bs := range d.backends {
+		if bs == exclude || bs.fails >= d.opts.FailThreshold {
+			continue
+		}
+		if best == nil || bs.inflight < best.inflight {
+			best = bs
+		}
+	}
+	if best != nil {
+		best.inflight++
 	}
 	return best
 }
@@ -393,6 +704,15 @@ func (d *Dispatcher) settle(bs *backendState, ok, blame bool) {
 		if bs.fails >= d.opts.FailThreshold {
 			bs.deadSince = time.Now()
 		}
+	}
+}
+
+// Stats returns a snapshot of the dispatcher's cumulative counters.
+func (d *Dispatcher) Stats() Stats {
+	return Stats{
+		Hedges:    d.hedges.Load(),
+		HedgeWins: d.hedgeWins.Load(),
+		Probes:    d.probes.Load(),
 	}
 }
 

@@ -95,6 +95,30 @@ func (b *HTTPBackend) RunShard(ctx context.Context, spec sim.ShardSpec) (sim.Sha
 	return sim.DecodeShard(data, spec, cfg)
 }
 
+// HealthzPath is the worker liveness endpoint Probe hits. cmd/simd serves
+// it in both modes; any 200 answer means the process is up.
+const HealthzPath = "/healthz"
+
+// Probe implements Prober: a GET of the worker's health endpoint. It costs
+// no shard attempt, so a dead worker is re-checked cheaply instead of
+// being handed a real shard it will probably fail.
+func (b *HTTPBackend) Probe(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+HealthzPath, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("worker %s: healthz status %d", b.base, resp.StatusCode)
+	}
+	return nil
+}
+
 // WorkerHandler serves the worker protocol over sess: POST /v1/shards
 // runs one shard on the session's pool and compiled-program cache.
 // cmd/simd mounts it in both modes; tests drive it through httptest to
@@ -139,6 +163,12 @@ func WorkerHandler(sess *sim.Session, maxInsts int64) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(enc)
+	})
+	// Serve the liveness endpoint here too, so every mounted worker —
+	// including in-process test workers — answers revival probes.
+	mux.HandleFunc("GET "+HealthzPath, func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
 	})
 	return mux
 }

@@ -1,0 +1,422 @@
+package dispatch_test
+
+// Unit tests for the robustness machinery: full-jitter backoff, partial
+// (AllowPartial) grids, hedged straggler attempts, and probe-based
+// revival of dead backends.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rebalance/internal/sim"
+	"rebalance/internal/sim/dispatch"
+)
+
+// TestBackoffConsultsInjectedRand proves retry delays flow through the
+// jitter source: with a scripted Rand the retries of a transiently
+// failing backend draw exactly once per backoff sleep, and a
+// zero-returning source makes the sleeps (near) instant.
+func TestBackoffConsultsInjectedRand(t *testing.T) {
+	b := &fakeBackend{name: "flaky", failFirst: 2}
+	var draws atomic.Int64
+	opts := dispatch.Options{
+		Backoff: time.Hour, // full jitter on [0, cap): only a 0 draw keeps this test fast
+		Rand: func() float64 {
+			draws.Add(1)
+			return 0
+		},
+	}
+	d, err := dispatch.New([]dispatch.Backend{b}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := draws.Load(); got != 2 {
+		t.Errorf("jitter source drawn %d times, want 2 (once per retry)", got)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("run took %v despite zero-jitter draws against a 1h cap", elapsed)
+	}
+}
+
+// seedFailBackend permanently fails shards of one seed and answers the
+// rest — the shape of a grid cell no backend can complete.
+type seedFailBackend struct {
+	name     string
+	failSeed uint64
+	calls    atomic.Int64
+}
+
+func (b *seedFailBackend) Name() string { return b.name }
+
+func (b *seedFailBackend) RunShard(_ context.Context, spec sim.ShardSpec) (sim.Shard, error) {
+	b.calls.Add(1)
+	if spec.Seed == b.failSeed {
+		return sim.Shard{}, fmt.Errorf("%s: scripted permanent failure for seed %d", b.name, spec.Seed)
+	}
+	return sim.Shard{Workload: spec.Workload, Seed: spec.Seed, Observer: "bbl", Insts: spec.Insts}, nil
+}
+
+func TestAllowPartialReturnsPartialError(t *testing.T) {
+	a := &seedFailBackend{name: "a", failSeed: 2}
+	b := &seedFailBackend{name: "b", failSeed: 2}
+	opts := fastOpts()
+	opts.Attempts = 3
+	opts.AllowPartial = true
+	opts.FailThreshold = 100 // the scripted failures must not kill the backends
+	d, err := dispatch.New([]dispatch.Backend{a, b}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []sim.ShardSpec{testSpec(1), testSpec(2), testSpec(3), testSpec(4)}
+	shards, err := d.RunShards(context.Background(), specs)
+	var pe *sim.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *sim.PartialError", err)
+	}
+	if len(pe.Failures) != 1 {
+		t.Fatalf("failures = %+v, want exactly the seed-2 shard", pe.Failures)
+	}
+	f := pe.Failures[0]
+	if f.Index != 1 || f.Attempts != 3 {
+		t.Errorf("failure = {index %d, attempts %d}, want {index 1, attempts 3}", f.Index, f.Attempts)
+	}
+	if f.Err == nil || !strings.Contains(f.Err.Error(), "scripted permanent failure") {
+		t.Errorf("failure does not carry the terminal backend error: %+v", f)
+	}
+	if len(shards) != 4 {
+		t.Fatalf("got %d shards, want 4 (index-aligned with the grid)", len(shards))
+	}
+	for i, sh := range shards {
+		if i == 1 {
+			if sh.Workload != "" {
+				t.Errorf("failed position 1 holds a shard: %+v", sh)
+			}
+			continue
+		}
+		if sh.Seed != specs[i].Seed {
+			t.Errorf("shard %d has seed %d, want %d", i, sh.Seed, specs[i].Seed)
+		}
+	}
+}
+
+func TestWithoutAllowPartialFailureStillAborts(t *testing.T) {
+	a := &seedFailBackend{name: "a", failSeed: 2}
+	opts := fastOpts()
+	opts.Attempts = 2
+	d, err := dispatch.New([]dispatch.Backend{a}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1), testSpec(2)})
+	if err == nil || shards != nil {
+		t.Fatalf("RunShards = (%v, %v), want the historical all-or-nothing failure", shards, err)
+	}
+	var pe *sim.PartialError
+	if errors.As(err, &pe) {
+		t.Fatalf("err = %v; a non-partial dispatcher must not leak PartialError", err)
+	}
+}
+
+func TestAllowPartialCancellationStillAborts(t *testing.T) {
+	blocked := &fakeBackend{name: "blocked", block: true}
+	opts := fastOpts()
+	opts.AllowPartial = true
+	opts.AttemptTimeout = -1 // no per-attempt bound: only cancellation can end this
+	d, err := dispatch.New([]dispatch.Backend{blocked}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err = d.RunShards(ctx, []sim.ShardSpec{testSpec(1), testSpec(2)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled; cancellation must abort even under AllowPartial", err)
+	}
+}
+
+// slowBackend answers after a fixed delay (or when cancelled).
+type slowBackend struct {
+	name  string
+	delay time.Duration
+	calls atomic.Int64
+}
+
+func (b *slowBackend) Name() string { return b.name }
+
+func (b *slowBackend) RunShard(ctx context.Context, spec sim.ShardSpec) (sim.Shard, error) {
+	b.calls.Add(1)
+	select {
+	case <-ctx.Done():
+		return sim.Shard{}, ctx.Err()
+	case <-time.After(b.delay):
+		return sim.Shard{Workload: spec.Workload, Seed: spec.Seed, Observer: "bbl", Insts: spec.Insts}, nil
+	}
+}
+
+// TestHedgeWinsWithoutBlame pins the hedge contract: a straggling primary
+// is raced by a duplicate on the second backend, the duplicate's result
+// is served, and the cancelled straggler is not blamed (both backends
+// stay healthy).
+func TestHedgeWinsWithoutBlame(t *testing.T) {
+	slow := &slowBackend{name: "slow", delay: 2 * time.Second}
+	fast := &fakeBackend{name: "fast"}
+	opts := fastOpts()
+	opts.MaxInFlight = 4
+	opts.HedgeDelay = 5 * time.Millisecond
+	// Backends are picked least-inflight with slice order breaking ties,
+	// so the lone shard's primary is deterministically "slow".
+	d, err := dispatch.New([]dispatch.Backend{slow, fast}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	shards, err := d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 || shards[0].Seed != 1 {
+		t.Fatalf("shards = %+v", shards)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("hedged shard took %v; the fast duplicate's result must win", elapsed)
+	}
+	stats := d.Stats()
+	if stats.Hedges != 1 || stats.HedgeWins != 1 {
+		t.Errorf("stats = %+v, want 1 hedge and 1 hedge win", stats)
+	}
+	if healthy := d.Healthy(); len(healthy) != 2 {
+		t.Errorf("healthy = %v; a cancelled hedge loser must not be blamed", healthy)
+	}
+}
+
+// TestHedgeNeedsASecondBackend: with one backend there is nowhere to
+// duplicate to, so no hedge fires however slow the attempt is.
+func TestHedgeNeedsASecondBackend(t *testing.T) {
+	slow := &slowBackend{name: "slow", delay: 50 * time.Millisecond}
+	opts := fastOpts()
+	opts.HedgeDelay = time.Millisecond
+	d, err := dispatch.New([]dispatch.Backend{slow}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if stats := d.Stats(); stats.Hedges != 0 {
+		t.Errorf("stats = %+v; a lone backend must never be hedged against itself", stats)
+	}
+	if got := slow.calls.Load(); got != 1 {
+		t.Errorf("backend saw %d calls, want 1", got)
+	}
+}
+
+// TestHedgeSkippedWhenPoolSaturated: hedges take normal in-flight slots
+// and must not queue for one — a saturated dispatcher skips the hedge
+// rather than amplifying load.
+func TestHedgeSkippedWhenPoolSaturated(t *testing.T) {
+	slow := &slowBackend{name: "slow", delay: 60 * time.Millisecond}
+	fast := &fakeBackend{name: "fast"}
+	opts := fastOpts()
+	opts.MaxInFlight = 1 // the primary holds the only slot
+	opts.HedgeDelay = time.Millisecond
+	d, err := dispatch.New([]dispatch.Backend{slow, fast}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if stats := d.Stats(); stats.Hedges != 0 {
+		t.Errorf("stats = %+v; a full slot pool must skip the hedge", stats)
+	}
+	if got := fast.calls.Load(); got != 0 {
+		t.Errorf("hedge backend saw %d calls with a saturated pool", got)
+	}
+}
+
+// TestDerivedHedgeDelayNeedsSamples: with Hedge on but no fixed delay,
+// nothing hedges until a latency sample exists — there is no notion of
+// "straggling" before anything has been observed.
+func TestDerivedHedgeDelayNeedsSamples(t *testing.T) {
+	slow := &slowBackend{name: "slow", delay: 40 * time.Millisecond}
+	fast := &fakeBackend{name: "fast"}
+	opts := fastOpts()
+	opts.MaxInFlight = 4
+	opts.Hedge = true // no HedgeDelay: derived from (so far empty) observations
+	d, err := dispatch.New([]dispatch.Backend{slow, fast}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunShards(context.Background(), []sim.ShardSpec{testSpec(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if stats := d.Stats(); stats.Hedges != 0 {
+		t.Errorf("stats = %+v; the first-ever attempt has no latency window to judge stragglers by", stats)
+	}
+}
+
+// probeBackend scripts a probe-capable backend: RunShard fails its first
+// failFirst calls, and the test controls when probes succeed. It records
+// whether a shard was ever dispatched to it between death and a
+// successful probe — the sacrifice the probe path exists to avoid.
+type probeBackend struct {
+	name      string
+	failFirst int64
+
+	calls      atomic.Int64
+	probes     atomic.Int64
+	probeOK    atomic.Bool
+	inProbe    atomic.Int64
+	probePeak  atomic.Int64
+	probeDelay time.Duration
+	sacrificed atomic.Bool
+}
+
+func (b *probeBackend) Name() string { return b.name }
+
+func (b *probeBackend) RunShard(_ context.Context, spec sim.ShardSpec) (sim.Shard, error) {
+	n := b.calls.Add(1)
+	if n <= b.failFirst {
+		return sim.Shard{}, fmt.Errorf("%s: scripted failure %d", b.name, n)
+	}
+	if !b.probeOK.Load() {
+		// A shard reached a dead probe-capable backend before any probe
+		// succeeded: the single-shard sacrifice the Prober path must
+		// never pay.
+		b.sacrificed.Store(true)
+	}
+	return sim.Shard{Workload: spec.Workload, Seed: spec.Seed, Observer: "bbl", Insts: spec.Insts}, nil
+}
+
+func (b *probeBackend) Probe(context.Context) error {
+	cur := b.inProbe.Add(1)
+	for {
+		peak := b.probePeak.Load()
+		if cur <= peak || b.probePeak.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	if b.probeDelay > 0 {
+		time.Sleep(b.probeDelay)
+	}
+	b.inProbe.Add(-1)
+	b.probes.Add(1)
+	if !b.probeOK.Load() {
+		return errors.New("still down")
+	}
+	return nil
+}
+
+// TestProbeRevivalWithoutSacrifice: a dead probe-capable backend is
+// revived by a cheap health probe — never by feeding it a real shard.
+func TestProbeRevivalWithoutSacrifice(t *testing.T) {
+	a := &probeBackend{name: "a", failFirst: 3}
+	b := &fakeBackend{name: "b"}
+	opts := fastOpts()
+	opts.FailThreshold = 3
+	opts.ReviveAfter = time.Millisecond
+	opts.MaxInFlight = 1
+	d, err := dispatch.New([]dispatch.Backend{a, b}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Drive shards until a's three scripted failures mark it dead; every
+	// shard still completes via failover to b.
+	for seed := uint64(1); a.calls.Load() < 3; seed++ {
+		if _, err := d.RunShards(ctx, []sim.ShardSpec{testSpec(seed)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if healthy := d.Healthy(); len(healthy) != 1 || healthy[0] != "b" {
+		t.Fatalf("healthy = %v, want [b] after a's scripted failures", healthy)
+	}
+
+	// a stays dead (probes fail) while work keeps flowing: no shard may
+	// reach it, however many cooldowns expire.
+	for seed := uint64(100); seed < 120; seed++ {
+		if _, err := d.RunShards(ctx, []sim.ShardSpec{testSpec(seed)}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := a.calls.Load(); got != 3 {
+		t.Fatalf("dead backend saw %d calls, want 3; revival must not sacrifice shards", got)
+	}
+
+	// Flip the backend healthy: the next successful probe revives it, and
+	// only then does it see shards again.
+	a.probeOK.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for a.calls.Load() == 3 && time.Now().Before(deadline) {
+		seed := uint64(1000 + a.probes.Load())
+		if _, err := d.RunShards(ctx, []sim.ShardSpec{testSpec(seed), testSpec(seed + 5000)}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if a.calls.Load() == 3 {
+		t.Fatal("backend never revived after probes were allowed to succeed")
+	}
+	if a.sacrificed.Load() {
+		t.Error("a shard reached the dead backend before a successful probe")
+	}
+	if got := a.probes.Load(); got == 0 {
+		t.Error("backend revived without any probe")
+	}
+	if stats := d.Stats(); stats.Probes == 0 {
+		t.Errorf("stats = %+v, want probes > 0", stats)
+	}
+}
+
+// TestSingleProberInvariant: however many shards observe an expired
+// cooldown concurrently, at most one probe per backend is in flight.
+func TestSingleProberInvariant(t *testing.T) {
+	a := &probeBackend{name: "a", failFirst: 1 << 30, probeDelay: 10 * time.Millisecond}
+	b := &fakeBackend{name: "b"}
+	opts := fastOpts()
+	opts.FailThreshold = 1
+	opts.ReviveAfter = time.Nanosecond // every pick is tempted to probe
+	opts.MaxInFlight = 8
+	d, err := dispatch.New([]dispatch.Backend{a, b}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Kill a.
+	if _, err := d.RunShards(ctx, []sim.ShardSpec{testSpec(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the dispatcher from many goroutines while probes crawl.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				specs := []sim.ShardSpec{testSpec(uint64(g*1000 + i + 10))}
+				if _, err := d.RunShards(ctx, specs); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if peak := a.probePeak.Load(); peak > 1 {
+		t.Errorf("saw %d concurrent probes; the single-prober invariant is broken", peak)
+	}
+}

@@ -21,13 +21,35 @@ type Report struct {
 	// grid was dispatched through a runner, whose concurrency is its own.
 	Workers int `json:"workers"`
 	// Shards are in deterministic order: workload-major, then observer
-	// configuration (spec order), then seed.
+	// configuration (spec order), then seed. With AllowPartial, shards
+	// whose execution was abandoned are absent here and enumerated in
+	// FailedShards instead; every present shard is byte-identical to the
+	// same shard of an all-or-nothing run.
 	Shards []Shard `json:"shards"`
+	// FailedShards enumerates the grid cells that were abandoned under
+	// AllowPartial, in the same deterministic grid order as Shards. Empty
+	// (and omitted from the wire) for all-or-nothing runs, so reports
+	// without failures are byte-identical to the pre-partial schema.
+	FailedShards []FailedShard `json:"failed_shards,omitempty"`
 	// Merged folds each configuration's shards across seeds, in the same
-	// workload-major order.
+	// workload-major order. With AllowPartial, failed seeds are excluded
+	// (Seeds counts only the merged survivors) and a configuration whose
+	// every seed failed has no entry.
 	Merged     []Merged `json:"merged"`
 	TotalInsts int64    `json:"total_insts"`
 	WallNS     int64    `json:"wall_ns"`
+}
+
+// FailedShard is the structured record of one abandoned grid cell: the
+// shard's identity, the attempts spent on it, and the terminal error. It
+// is data, not a timing field — consumers deciding whether a degraded
+// report is still usable inspect exactly this list.
+type FailedShard struct {
+	Workload string `json:"workload"`
+	Seed     uint64 `json:"seed"`
+	Observer string `json:"observer"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
 }
 
 // Shard is one {workload, seed, observer-config} measurement. Cached

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -193,15 +194,24 @@ func (s *Session) Run(ctx context.Context, spec *Spec) (*Report, error) {
 	}
 	start := time.Now()
 	var shards []Shard
+	var failures []ShardFailure
 	if s.runner != nil {
-		shards, err = s.runDispatched(ctx, norm, jobs)
+		shards, failures, err = s.runDispatched(ctx, norm, jobs)
 	} else {
-		shards, err = s.runLocal(ctx, norm, jobs, compiled)
+		shards, failures, err = s.runLocal(ctx, norm, jobs, compiled)
 	}
 	if err != nil {
 		return nil, err
 	}
 	wall := time.Since(start)
+
+	// failed marks the grid indices whose execution was abandoned (only
+	// ever non-empty under AllowPartial); those positions in shards are
+	// zero-valued and excluded from the report and the merge.
+	failed := make(map[int]bool, len(failures))
+	for _, f := range failures {
+		failed[f.Index] = true
+	}
 
 	// Workers reports the local pool concurrency; a dispatched run's
 	// concurrency belongs to the runner, so the field is 0 there rather
@@ -214,30 +224,58 @@ func (s *Session) Run(ctx context.Context, spec *Spec) (*Report, error) {
 		Schema:  SchemaV1,
 		Spec:    norm,
 		Workers: workers,
-		Shards:  shards,
 		WallNS:  wall.Nanoseconds(),
 	}
-	for i := range shards {
-		rep.TotalInsts += shards[i].Insts
+	if len(failures) == 0 {
+		rep.Shards = shards
+	} else {
+		rep.Shards = make([]Shard, 0, len(shards)-len(failures))
+		for i := range shards {
+			if !failed[i] {
+				rep.Shards = append(rep.Shards, shards[i])
+			}
+		}
+		for _, f := range failures {
+			job := &jobs[f.Index]
+			rep.FailedShards = append(rep.FailedShards, FailedShard{
+				Workload: job.workload,
+				Seed:     job.seed,
+				Observer: job.cfg.Key(),
+				Attempts: f.Attempts,
+				Error:    f.Err.Error(),
+			})
+		}
+	}
+	for i := range rep.Shards {
+		rep.TotalInsts += rep.Shards[i].Insts
 	}
 
 	// Merge each configuration's per-seed shards, in seed order, into one
 	// result per {workload, observer-config}. Shards are laid out
-	// seed-minor, so each merge group is a contiguous run.
+	// seed-minor, so each merge group is a contiguous run of the aligned
+	// slice; failed seeds are skipped, and a group with no survivors gets
+	// no merged entry.
 	si := 0
 	for _, w := range norm.Workloads {
 		for _, cfg := range configs {
 			acc := cfg.NewResult()
+			merged := 0
 			for range norm.Seeds {
-				if err := acc.Merge(shards[si].Result); err != nil {
-					return nil, fmt.Errorf("sim: merging %s/%s: %w", w, cfg.Key(), err)
+				if !failed[si] {
+					if err := acc.Merge(shards[si].Result); err != nil {
+						return nil, fmt.Errorf("sim: merging %s/%s: %w", w, cfg.Key(), err)
+					}
+					merged++
 				}
 				si++
+			}
+			if merged == 0 {
+				continue
 			}
 			rep.Merged = append(rep.Merged, Merged{
 				Workload: w,
 				Observer: cfg.Key(),
-				Seeds:    len(norm.Seeds),
+				Seeds:    merged,
 				Result:   acc,
 			})
 		}
@@ -249,8 +287,10 @@ func (s *Session) Run(ctx context.Context, spec *Spec) (*Report, error) {
 // pool — the default runner. Results land index-aligned with jobs; the
 // context is polled both between shards and, at region granularity,
 // inside each executing shard, so cancellation returns promptly and the
-// session remains reusable afterwards.
-func (s *Session) runLocal(ctx context.Context, norm *Spec, jobs []shardJob, compiled map[string]*trace.Compiled) ([]Shard, error) {
+// session remains reusable afterwards. With AllowPartial, shard errors
+// other than cancellation degrade to ShardFailure entries instead of
+// failing the run — unless every shard failed, which stays an error.
+func (s *Session) runLocal(ctx context.Context, norm *Spec, jobs []shardJob, compiled map[string]*trace.Compiled) ([]Shard, []ShardFailure, error) {
 	shards := make([]Shard, len(jobs))
 	errs := make([]error, len(jobs))
 	next := make(chan int)
@@ -279,21 +319,35 @@ func (s *Session) runLocal(ctx context.Context, norm *Spec, jobs []shardJob, com
 	close(next)
 	wg.Wait()
 
+	var failures []ShardFailure
 	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sim: shard {%s %s seed %d}: %w",
-				jobs[i].workload, jobs[i].cfg.Key(), jobs[i].seed, err)
+		if err == nil {
+			continue
 		}
+		// Cancellation is a judgment on the run, not the shard; it always
+		// aborts, partial or not.
+		if norm.AllowPartial && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			failures = append(failures, ShardFailure{Index: i, Attempts: 1, Err: err})
+			continue
+		}
+		return nil, nil, fmt.Errorf("sim: shard {%s %s seed %d}: %w",
+			jobs[i].workload, jobs[i].cfg.Key(), jobs[i].seed, err)
 	}
-	return shards, nil
+	if len(failures) == len(jobs) {
+		return nil, nil, fmt.Errorf("sim: all %d shards failed (first: %v)", len(jobs), failures[0].Err)
+	}
+	return shards, failures, nil
 }
 
 // runDispatched hands the shard grid to the configured runner (the
 // dispatch layer) and cross-checks that what came back is the grid that
 // was sent: one shard per job, identity fields matching. Remote results
 // were already decoded to concrete types by the backend, so the merge
-// phase cannot tell them from local ones.
-func (s *Session) runDispatched(ctx context.Context, norm *Spec, jobs []shardJob) ([]Shard, error) {
+// phase cannot tell them from local ones. A *PartialError from a
+// partial-capable runner is accepted — the abandoned indices become
+// ShardFailure entries — but only when the spec set AllowPartial; it is
+// an ordinary run failure otherwise.
+func (s *Session) runDispatched(ctx context.Context, norm *Spec, jobs []shardJob) ([]Shard, []ShardFailure, error) {
 	specs := make([]ShardSpec, len(jobs))
 	for i, job := range jobs {
 		specs[i] = ShardSpec{
@@ -306,20 +360,40 @@ func (s *Session) runDispatched(ctx context.Context, norm *Spec, jobs []shardJob
 		}
 	}
 	shards, err := s.runner.RunShards(ctx, specs)
+	var failures []ShardFailure
 	if err != nil {
-		return nil, err
+		var pe *PartialError
+		if !norm.AllowPartial || !errors.As(err, &pe) {
+			return nil, nil, err
+		}
+		failures = pe.Failures
+		if len(failures) >= len(jobs) {
+			return nil, nil, fmt.Errorf("sim: all %d shards failed: %w", len(jobs), err)
+		}
+		for _, f := range failures {
+			if f.Index < 0 || f.Index >= len(jobs) {
+				return nil, nil, fmt.Errorf("sim: runner reported failure for shard %d of %d", f.Index, len(jobs))
+			}
+		}
 	}
 	if len(shards) != len(jobs) {
-		return nil, fmt.Errorf("sim: runner returned %d shards for %d jobs", len(shards), len(jobs))
+		return nil, nil, fmt.Errorf("sim: runner returned %d shards for %d jobs", len(shards), len(jobs))
+	}
+	failed := make(map[int]bool, len(failures))
+	for _, f := range failures {
+		failed[f.Index] = true
 	}
 	for i := range shards {
+		if failed[i] {
+			continue
+		}
 		if shards[i].Workload != jobs[i].workload || shards[i].Seed != jobs[i].seed || shards[i].Observer != jobs[i].cfg.Key() {
-			return nil, fmt.Errorf("sim: runner shard %d is {%s %s seed %d}, want {%s %s seed %d}",
+			return nil, nil, fmt.Errorf("sim: runner shard %d is {%s %s seed %d}, want {%s %s seed %d}",
 				i, shards[i].Workload, shards[i].Observer, shards[i].Seed,
 				jobs[i].workload, jobs[i].cfg.Key(), jobs[i].seed)
 		}
 	}
-	return shards, nil
+	return shards, failures, nil
 }
 
 // runShard drives one observer configuration over one seeded stream with a

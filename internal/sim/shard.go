@@ -121,8 +121,39 @@ func DecodeShard(data []byte, spec ShardSpec, cfg ObserverConfig) (Shard, error)
 // pool; SetRunner swaps in the dispatch layer's Dispatcher, which spreads
 // the same grid across local and remote backends. Implementations must
 // return either one Shard per spec (index-aligned) or an error.
+//
+// A partial-capable runner (the Dispatcher with AllowPartial) may instead
+// return the shards it completed alongside a *PartialError enumerating
+// the abandoned indices; the failed positions in the shard slice are
+// zero-valued. A Session accepts that shape only when the spec it is
+// running sets AllowPartial — otherwise a PartialError fails the run like
+// any other error.
 type ShardRunner interface {
 	RunShards(ctx context.Context, shards []ShardSpec) ([]Shard, error)
+}
+
+// ShardFailure records one grid cell whose execution was abandoned:
+// its position in the submitted spec slice, the attempts spent before
+// giving up, and the terminal error.
+type ShardFailure struct {
+	Index    int
+	Attempts int
+	Err      error
+}
+
+// PartialError is the error shape of a degraded grid: returned by a
+// partial-capable ShardRunner together with the completed shards. The
+// failures are in ascending index order.
+type PartialError struct {
+	Failures []ShardFailure
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	if len(e.Failures) == 1 {
+		return fmt.Sprintf("sim: 1 shard failed: %v", e.Failures[0].Err)
+	}
+	return fmt.Sprintf("sim: %d shards failed (first: %v)", len(e.Failures), e.Failures[0].Err)
 }
 
 // RunShard validates and executes a single shard on this process, using

@@ -1,0 +1,161 @@
+package shardcache
+
+// Corruption tests for the disk tier's safety property: whatever happens
+// to the bytes on disk — bit rot, torn writes, truncation, outright
+// replacement — a lookup must degrade to a miss-and-recompute. It must
+// never serve a value the writer didn't store, and never fail the run.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// diskEntryFile returns the single file backing the cache's disk tier.
+func diskEntryFile(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) != 1 {
+		t.Fatalf("disk tier holds %d files, want exactly 1", len(files))
+	}
+	return files[0]
+}
+
+// freshCacheGet opens a new cache over dir (cold memory tier, so the disk
+// bytes are what answer) and looks key up.
+func freshCacheGet(t *testing.T, dir, key string) ([]byte, bool) {
+	t.Helper()
+	c, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Get(key)
+}
+
+// TestEveryPointCorruptionIsAMiss is the exhaustive property check: for a
+// stored entry, every single-bit flip at every byte position, and every
+// proper-prefix truncation, must turn the lookup into a miss — and the
+// poisoned file must be gone afterwards, so the slot heals by recompute.
+func TestEveryPointCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	const key = "sc2-corrupt-property"
+	val := []byte(`{"workload":"w","seed":1,"observer":"bbl","insts":9,"elapsed_ns":0,"result":{"n":12345}}`)
+	mustNew(t, Options{Dir: dir}).Put(key, val)
+	file := diskEntryFile(t, dir)
+	orig, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(mutated []byte, what string, pos int) {
+		t.Helper()
+		if err := os.WriteFile(file, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := freshCacheGet(t, dir, key); ok {
+			t.Fatalf("%s at %d served a hit (%q); corruption must be a miss", what, pos, got)
+		}
+		if _, err := os.Stat(file); !os.IsNotExist(err) {
+			t.Fatalf("%s at %d: corrupt file survived the miss; it must self-delete", what, pos)
+		}
+	}
+
+	for i := range orig {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), orig...)
+			mut[i] ^= 1 << bit
+			check(mut, "bit flip", i*8+bit)
+		}
+	}
+	for cut := 0; cut < len(orig); cut++ {
+		check(append([]byte(nil), orig[:cut]...), "truncation", cut)
+	}
+
+	// The slot recovers: a Do over the poisoned (now deleted) entry
+	// recomputes and the run succeeds.
+	c := mustNew(t, Options{Dir: dir})
+	got, hit, err := c.Do(context.Background(), key, func() ([]byte, error) { return val, nil })
+	if err != nil || hit || !bytes.Equal(got, val) {
+		t.Fatalf("Do after corruption = (%q, hit=%v, err=%v), want recompute of the original", got, hit, err)
+	}
+}
+
+// FuzzDiskEntryCorruption lets the fuzzer replace the on-disk entry with
+// arbitrary bytes. The invariant: a hit may only ever serve a payload
+// matching the entry's own checksum (which, for anything the fuzzer can
+// realistically produce, means a miss), and the lookup must never panic
+// or error the run.
+func FuzzDiskEntryCorruption(f *testing.F) {
+	dir := f.TempDir()
+	const key = "sc2-corrupt-fuzz"
+	val := []byte(`{"workload":"w","seed":2,"observer":"bbl","insts":7,"result":{"n":67890}}`)
+	c, err := New(Options{Dir: dir})
+	if err != nil {
+		f.Fatal(err)
+	}
+	c.Put(key, val)
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		f.Fatalf("disk tier setup: %v (%d files)", err, len(ents))
+	}
+	file := filepath.Join(dir, ents[0].Name())
+	orig, err := os.ReadFile(file)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(orig)                           // the untouched entry: a legitimate hit
+	f.Add(orig[:len(orig)-1])             // torn write
+	f.Add(orig[:16])                      // shorter than the checksum
+	f.Add([]byte{})                       // empty file
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // junk of plausible size
+	flip := append([]byte(nil), orig...)
+	flip[40] ^= 0x01
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cc, err := New(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("New over a corrupt dir: %v", err)
+		}
+		got, ok := cc.Get(key)
+		if ok {
+			// A hit is legal only when the bytes really are a valid entry:
+			// checksum matches, and the payload is what the file carries.
+			if len(data) < sha256.Size {
+				t.Fatalf("hit from a %d-byte file, shorter than its checksum", len(data))
+			}
+			sum := sha256.Sum256(data[sha256.Size:])
+			if !bytes.Equal(sum[:], data[:sha256.Size]) {
+				t.Fatalf("hit from an entry whose checksum does not match its payload")
+			}
+			if !bytes.Equal(got, data[sha256.Size:]) {
+				t.Fatalf("hit served %q, want the file's own payload %q", got, data[sha256.Size:])
+			}
+		} else {
+			// A miss must delete the poison so the slot heals; restore the
+			// entry for the next iteration either way.
+			if _, err := os.Stat(file); err == nil && len(data) > 0 {
+				t.Fatalf("corrupt entry survived a miss; it must self-delete")
+			}
+		}
+		if err := os.WriteFile(file, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -66,6 +66,16 @@ type Spec struct {
 	// Observers is the typed observer set; each entry expands through the
 	// observer registry into one or more shard configurations.
 	Observers []ObserverSpec `json:"observers"`
+	// AllowPartial degrades shard failures instead of failing the run:
+	// a shard whose execution is abandoned (locally errored, or — through
+	// a partial-capable runner — exhausted its retry budget) is recorded
+	// as a structured entry in the report's failed_shards list, its seed
+	// is excluded from the merge, and every other shard is byte-identical
+	// to an all-or-nothing run. The default (false) keeps the historical
+	// contract: any shard failure fails the whole run. A run in which
+	// every shard failed is an error even with AllowPartial — there is
+	// nothing to degrade to.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // ObserverSpec names one observer kind with its kind-specific options (for
@@ -85,12 +95,13 @@ func (s *Spec) normalized(maxSeeds int) (*Spec, error) {
 		return nil, fmt.Errorf("%w: nil spec", ErrInvalidSpec)
 	}
 	out := &Spec{
-		Workloads: append([]string(nil), s.Workloads...),
-		Synth:     append([]synth.Params(nil), s.Synth...),
-		Seeds:     append([]uint64(nil), s.Seeds...),
-		Insts:     s.Insts,
-		Engine:    s.Engine,
-		Observers: append([]ObserverSpec(nil), s.Observers...),
+		Workloads:    append([]string(nil), s.Workloads...),
+		Synth:        append([]synth.Params(nil), s.Synth...),
+		Seeds:        append([]uint64(nil), s.Seeds...),
+		Insts:        s.Insts,
+		Engine:       s.Engine,
+		Observers:    append([]ObserverSpec(nil), s.Observers...),
+		AllowPartial: s.AllowPartial,
 	}
 	if len(out.Workloads) == 0 {
 		return nil, fmt.Errorf("%w: no workloads", ErrInvalidSpec)
