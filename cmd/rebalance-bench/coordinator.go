@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"rebalance/internal/sim"
+)
+
+// maxCoordRespBytes bounds coordinator response bodies. Result reports
+// scale with the grid, so the bound matches the dispatch layer's shard
+// ceiling rather than the tiny spec/status bodies.
+const maxCoordRespBytes = 64 << 20
+
+// runCoordinatorSweep executes one sweep through a simd coordinator's
+// async API: submit the spec under the tenant, poll the sweep's progress
+// at the given interval, and fetch and decode the final report once the
+// sweep lands. The decoded report carries the same concrete result types
+// a local sim.Session.Run produces, so the caller reshapes it
+// identically. Cancellation of ctx abandons the poll loop and attempts a
+// best-effort DELETE so the coordinator stops working on a sweep nobody
+// will collect.
+func runCoordinatorSweep(ctx context.Context, base, tenant string, spec *sim.Spec, poll time.Duration) (*sim.Report, error) {
+	base = strings.TrimRight(base, "/")
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("marshalling spec: %w", err)
+	}
+	submitURL := base + "/v1/sweeps?tenant=" + url.QueryEscape(tenant)
+	data, status, err := coordDo(ctx, http.MethodPost, submitURL, body)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusAccepted {
+		return nil, coordError("submitting sweep", status, data)
+	}
+	var st struct {
+		ID       string `json:"id"`
+		State    string `json:"state"`
+		Error    string `json:"error"`
+		Progress struct {
+			Total  int `json:"total_shards"`
+			Done   int `json:"done_shards"`
+			Cached int `json:"cached_shards"`
+		} `json:"progress"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
+		return nil, fmt.Errorf("coordinator submit response is not a sweep status: %v (%s)", err, data)
+	}
+	fmt.Fprintf(os.Stderr, "rebalance-bench: sweep %s submitted (%d shards) to %s as tenant %q\n",
+		st.ID, st.Progress.Total, base, tenant)
+
+	statusURL := base + "/v1/sweeps/" + st.ID
+	lastDone := -1
+	for {
+		select {
+		case <-ctx.Done():
+			// Nobody will collect the result; ask the coordinator to stop.
+			req, err := http.NewRequest(http.MethodDelete, statusURL, nil)
+			if err == nil {
+				if resp, err := http.DefaultClient.Do(req); err == nil {
+					resp.Body.Close()
+				}
+			}
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+		data, status, err := coordDo(ctx, http.MethodGet, statusURL, nil)
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, coordError("polling sweep "+st.ID, status, data)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, fmt.Errorf("decoding sweep status: %w", err)
+		}
+		if st.Progress.Done != lastDone {
+			lastDone = st.Progress.Done
+			fmt.Fprintf(os.Stderr, "rebalance-bench: sweep %s: %s, %d/%d shards (%d cached)\n",
+				st.ID, st.State, st.Progress.Done, st.Progress.Total, st.Progress.Cached)
+		}
+		switch st.State {
+		case "done":
+			data, status, err := coordDo(ctx, http.MethodGet, statusURL+"/result", nil)
+			if err != nil {
+				return nil, err
+			}
+			if status != http.StatusOK {
+				return nil, coordError("fetching sweep "+st.ID+" result", status, data)
+			}
+			return sim.DecodeReport(data)
+		case "failed", "cancelled":
+			return nil, fmt.Errorf("sweep %s landed %s: %s", st.ID, st.State, st.Error)
+		}
+	}
+}
+
+// coordDo issues one coordinator request and returns the body and status.
+// Transport errors are returned as-is; HTTP-level failures are the
+// caller's to map with coordError, which understands the error envelope.
+func coordDo(ctx context.Context, method, u string, body []byte) ([]byte, int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxCoordRespBytes))
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading coordinator response: %w", err)
+	}
+	return data, resp.StatusCode, nil
+}
+
+// coordError shapes a non-2xx coordinator response into an error, using
+// the JSON error envelope's message when the body carries one.
+func coordError(doing string, status int, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return fmt.Errorf("%s: coordinator status %d: %s", doing, status, msg)
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rebalance/internal/sim"
+)
+
+// fakeCoordinator serves the subset of the simd sweep API the client
+// needs: submit returns an ID, the status endpoint reports running for a
+// few polls before landing done, and the result endpoint serves a real
+// marshalled report. Faking the server (rather than standing up simd)
+// keeps this a test of the client's protocol handling alone.
+func fakeCoordinator(t *testing.T, rep *sim.Report, pollsUntilDone int32) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "sw-000001-0123456789ab"
+	total := len(rep.Shards)
+	var polls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.Query().Get("tenant"); got != "bench-test" {
+			t.Errorf("submit tenant %q, want bench-test", got)
+		}
+		var spec sim.Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			t.Errorf("submit body does not decode as a spec: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{
+			"id": id, "tenant": "bench-test", "state": "queued",
+			"progress": map[string]int{"total_shards": total},
+		})
+	})
+	mux.HandleFunc("GET /v1/sweeps/"+id, func(w http.ResponseWriter, r *http.Request) {
+		n := polls.Add(1)
+		state, done := "running", int(n)
+		if n >= pollsUntilDone {
+			state, done = "done", total
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"id": id, "tenant": "bench-test", "state": state,
+			"progress": map[string]int{"total_shards": total, "done_shards": done},
+		})
+	})
+	mux.HandleFunc("GET /v1/sweeps/"+id+"/result", func(w http.ResponseWriter, r *http.Request) {
+		if polls.Load() < pollsUntilDone {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]any{"error": "not terminal", "code": 409})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(enc)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &polls
+}
+
+// TestRunCoordinatorSweep: the client submits, polls until done, fetches
+// the result, and the decoded report reshapes into the same bench record
+// a local run of the same sim report produces.
+func TestRunCoordinatorSweep(t *testing.T) {
+	sess := sim.NewSession(2)
+	simRep, err := sess.Run(context.Background(), &sim.Spec{
+		Workloads: []string{"comd-lite"},
+		SeedCount: 2,
+		Insts:     30_000,
+		Observers: []sim.ObserverSpec{{Kind: "bpred", Options: json.RawMessage(`{"configs":["gshare-small","tage-small"]}`)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, polls := fakeCoordinator(t, simRep, 3)
+
+	got, err := runCoordinatorSweep(context.Background(), srv.URL, "bench-test", &sim.Spec{
+		Workloads: []string{"comd-lite"},
+		SeedCount: 2,
+		Insts:     30_000,
+		Observers: []sim.ObserverSpec{{Kind: "bpred", Options: json.RawMessage(`{"configs":["gshare-small","tage-small"]}`)}},
+	}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polls.Load() < 3 {
+		t.Errorf("client fetched the result after %d polls, before the sweep was done", polls.Load())
+	}
+
+	// The decoded report must reshape exactly like the original.
+	fromCoord, err := buildReport(got, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := buildReport(simRep, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(fromCoord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("coordinator-fetched report reshapes differently:\n got: %s\nwant: %s", a, b)
+	}
+	if !fromCoord.Dispatched {
+		t.Error("coordinator run not marked dispatched")
+	}
+}
+
+// TestRunCoordinatorSweepFailures: submit rejections surface the
+// envelope's message, and a sweep landing failed is an error naming the
+// terminal state.
+func TestRunCoordinatorSweepFailures(t *testing.T) {
+	spec := &sim.Spec{Workloads: []string{"comd-lite"}, Insts: 1000, Observers: []sim.ObserverSpec{{Kind: "bbl"}}}
+
+	rejecting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]any{"error": "tenant queue full", "code": 429})
+	}))
+	defer rejecting.Close()
+	if _, err := runCoordinatorSweep(context.Background(), rejecting.URL, "t", spec, time.Millisecond); err == nil || !strings.Contains(err.Error(), "tenant queue full") {
+		t.Errorf("429 submit: error %v, want the envelope message surfaced", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{"id": "sw-000002-0123456789ab", "state": "queued"})
+	})
+	mux.HandleFunc("GET /v1/sweeps/sw-000002-0123456789ab", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"id": "sw-000002-0123456789ab", "state": "failed", "error": "engine exploded",
+		})
+	})
+	failing := httptest.NewServer(mux)
+	defer failing.Close()
+	if _, err := runCoordinatorSweep(context.Background(), failing.URL, "t", spec, time.Millisecond); err == nil ||
+		!strings.Contains(err.Error(), "failed") || !strings.Contains(err.Error(), "engine exploded") {
+		t.Errorf("failed sweep: error %v, want terminal state and message", err)
+	}
+}

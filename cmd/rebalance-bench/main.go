@@ -19,12 +19,20 @@
 // programs. `-synth bias=0.6,0.8,0.95` sweeps the biased-branch fraction
 // over three scenarios; see parseSynthGrid for the axis list.
 //
+// With -coordinator the sweep is submitted asynchronously to a simd
+// coordinator's /v1/sweeps API instead of executing anywhere in this
+// process: the client submits the spec (tagged with -tenant), polls the
+// sweep's progress, fetches the final report when it lands, and reshapes
+// it exactly as if it had run the sweep itself — the report is
+// byte-identical up to timing fields, by the coordinator's contract.
+//
 // Usage:
 //
 //	rebalance-bench [-workloads comd-lite,xalan-lite] [-seeds 4]
 //	                [-synth "bias=0.6,0.8,0.95;hot=0.25,0.75"]
 //	                [-insts 2000000] [-workers N] [-calibrate 2000000]
 //	                [-backends http://host1:8080,http://host2:8080]
+//	                [-coordinator http://front:8080] [-tenant bench]
 //	                [-out report.json]
 package main
 
@@ -128,12 +136,14 @@ func main() {
 		workersFlag   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
 		calibFlag     = flag.Int64("calibrate", 2_000_000, "instructions for the engine calibration run (0 disables)")
 		backendsFlag  = flag.String("backends", "", "comma-separated simd worker URLs; dispatch shards remotely instead of running locally")
+		coordFlag     = flag.String("coordinator", "", "simd coordinator URL; submit the sweep asynchronously to its /v1/sweeps API and poll for the result")
+		tenantFlag    = flag.String("tenant", "bench", "tenant name submitted with -coordinator sweeps")
 		partialFlag   = flag.Bool("allow-partial", false, "degrade instead of failing when shards exhaust their retries: completed shards are reported, abandoned ones become failed_shards entries")
 		hedgeFlag     = flag.Bool("hedge", false, "with -backends, duplicate straggling shards onto a second healthy worker after a latency-derived delay; first result wins")
 		outFlag       = flag.String("out", "", "write the JSON report to this file (default stdout)")
 	)
 	flag.Parse()
-	if err := run(*workloadsFlag, *synthFlag, *seedsFlag, *instsFlag, *workersFlag, *calibFlag, *backendsFlag, *partialFlag, *hedgeFlag, *outFlag); err != nil {
+	if err := run(*workloadsFlag, *synthFlag, *seedsFlag, *instsFlag, *workersFlag, *calibFlag, *backendsFlag, *coordFlag, *tenantFlag, *partialFlag, *hedgeFlag, *outFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "rebalance-bench:", err)
 		os.Exit(1)
 	}
@@ -159,12 +169,18 @@ func parseWorkloads(csv string) ([]string, error) {
 	return names, nil
 }
 
-func run(workloadsCSV, synthCSV string, seeds int, insts int64, workers int, calibInsts int64, backendsCSV string, allowPartial, hedge bool, out string) error {
+func run(workloadsCSV, synthCSV string, seeds int, insts int64, workers int, calibInsts int64, backendsCSV, coordinator, tenant string, allowPartial, hedge bool, out string) error {
 	if seeds < 1 || insts < 1 || workers < 1 {
 		return fmt.Errorf("seeds, insts, and workers must be positive")
 	}
 	if hedge && backendsCSV == "" {
 		return fmt.Errorf("-hedge needs -backends: a local pool has no second worker to duplicate stragglers onto")
+	}
+	if coordinator != "" && backendsCSV != "" {
+		return fmt.Errorf("-coordinator and -backends are mutually exclusive: the coordinator owns its own worker fleet")
+	}
+	if coordinator != "" && tenant == "" {
+		return fmt.Errorf("-coordinator needs a non-empty -tenant")
 	}
 	var names []string
 	var err error
@@ -210,14 +226,20 @@ func run(workloadsCSV, synthCSV string, seeds int, insts int64, workers int, cal
 		}
 		sess.SetRunner(d)
 	}
-	simRep, err := sess.Run(context.Background(), &sim.Spec{
+	spec := &sim.Spec{
 		Workloads:    specWorkloads,
 		Synth:        synthSets,
 		SeedCount:    seeds,
 		Insts:        insts,
 		Observers:    []sim.ObserverSpec{{Kind: "bpred"}},
 		AllowPartial: allowPartial,
-	})
+	}
+	var simRep *sim.Report
+	if coordinator != "" {
+		simRep, err = runCoordinatorSweep(context.Background(), coordinator, tenant, spec, 200*time.Millisecond)
+	} else {
+		simRep, err = sess.Run(context.Background(), spec)
+	}
 	if err != nil {
 		return err
 	}
@@ -226,7 +248,7 @@ func run(workloadsCSV, synthCSV string, seeds int, insts int64, workers int, cal
 			n, n+len(simRep.Shards))
 	}
 
-	rep, err := buildReport(simRep, backendsCSV != "")
+	rep, err := buildReport(simRep, backendsCSV != "" || coordinator != "")
 	if err != nil {
 		return err
 	}
@@ -338,11 +360,19 @@ func buildReport(simRep *sim.Report, dispatched bool) (*report, error) {
 		})
 	}
 
+	// Workers describes this process's pool. A dispatched sweep ran
+	// elsewhere — on remote workers, or (through a coordinator) on another
+	// process entirely, whose report may carry its own pool size — so the
+	// field is 0 by the documented contract, never a borrowed figure.
+	workers := simRep.Workers
+	if dispatched {
+		workers = 0
+	}
 	rep := &report{
 		Schema:        "rebalance-bench/v1",
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Workers:       simRep.Workers,
+		Workers:       workers,
 		Dispatched:    dispatched,
 		InstsPerShard: simRep.Spec.Insts,
 		Workloads:     simRep.Spec.Workloads,

@@ -22,7 +22,7 @@ func cachedServer(t *testing.T, worker bool) (*httptest.Server, *shardcache.Cach
 	sess := sim.NewSession(2)
 	sess.SetMaxShards(256)
 	sess.SetCache(cache)
-	srv := httptest.NewServer(newServer(sess, 1_000_000, worker))
+	srv := httptest.NewServer(newServer(serverConfig{sess: sess, maxInsts: 1_000_000, worker: worker}))
 	t.Cleanup(srv.Close)
 	return srv, cache
 }

@@ -9,19 +9,44 @@
 // record, which a coordinator (another simd, rebalance-bench -backends, or
 // any sim.Session routed through a dispatch.Dispatcher) decodes and folds
 // into the same bit-identical Report an all-local run produces. -worker
-// trims the surface to exactly that role: the run endpoint is withheld so
-// a fleet worker cannot be used as an accidental coordinator.
+// trims the surface to exactly that role: the run and sweep endpoints are
+// withheld so a fleet worker cannot be used as an accidental coordinator.
+//
+// Coordinator mode additionally serves the async sweep API
+// (internal/sim/sweep): POST /v1/sweeps returns a sweep ID immediately,
+// the sweep executes in the background under per-tenant deficit
+// round-robin fair queueing, and clients poll progress and fetch the
+// final report — byte-identical to what POST /v1/runs would have returned
+// for the same spec, up to timing fields. Admission control bounds each
+// tenant's queue depth (-queue-depth; beyond it submits get 429 with
+// Retry-After) and coordinator-wide concurrency (-max-running); terminal
+// sweeps stay pollable for -retain. The tenant is named by the ?tenant=
+// query parameter or X-Tenant header ("default" when absent).
+//
+// With -backends the coordinator's shard grids are dispatched to remote
+// simd workers instead of the local pool, sharing one dispatcher — and
+// one shard cache — across all sweeps and runs, so concurrent tenants
+// sweeping overlapping grids deduplicate each other's work.
 //
 // Endpoints:
 //
-//	POST /v1/runs        execute a Spec (JSON body), respond with the report (coordinator mode only)
-//	POST /v1/shards      execute one ShardSpec, respond with the shard record
-//	GET  /v1/workloads   enumerate the workload registry
-//	GET  /v1/predictors  enumerate the predictor-config registry with costs
-//	GET  /v1/observers   enumerate the observer-kind registry
-//	GET  /v1/synth       the synth/v1 parameter grammar version and canonical defaults
-//	GET  /v1/cache/stats shard result cache counters (hits/misses/evictions/bytes)
-//	GET  /healthz        liveness probe
+//	POST   /v1/runs             execute a Spec synchronously, respond with the report (coordinator mode only)
+//	POST   /v1/sweeps           submit a Spec asynchronously, respond 202 with the sweep status (coordinator mode only)
+//	GET    /v1/sweeps           list sweeps, optionally filtered by ?tenant= (coordinator mode only)
+//	GET    /v1/sweeps/{id}      sweep status: state, progress, shards landed so far (coordinator mode only)
+//	GET    /v1/sweeps/{id}/result  the final report; 409 until the sweep is terminal (coordinator mode only)
+//	DELETE /v1/sweeps/{id}      cancel a queued or running sweep (coordinator mode only)
+//	POST   /v1/shards           execute one ShardSpec, respond with the shard record
+//	GET    /v1/stats            unified counters: shard cache, dispatcher, sweep queues
+//	GET    /v1/workloads        enumerate the workload registry
+//	GET    /v1/predictors       enumerate the predictor-config registry with costs
+//	GET    /v1/observers        enumerate the observer-kind registry
+//	GET    /v1/synth            the synth/v1 parameter grammar version and canonical defaults
+//	GET    /v1/cache/stats      shard result cache counters (hits/misses/evictions/bytes)
+//	GET    /healthz             liveness probe
+//
+// Every 4xx/5xx response carries the same JSON envelope:
+// {"error": "...", "code": N} with the code mirroring the HTTP status.
 //
 // Synthetic workloads need no registration: a Spec (or ShardSpec) carries
 // synth/v1 parameter sets inline, and both run endpoints build the exact
@@ -38,12 +63,16 @@
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight runs (http.Server.Shutdown) before exiting, so killing a
 // worker never truncates a shard response mid-body — a coordinator either
-// gets a complete record or a connection error it fails over from.
+// gets a complete record or a connection error it fails over from. The
+// sweep coordinator closes after the drain: queued sweeps land cancelled,
+// running sweeps abort through context cancellation.
 //
 // Usage:
 //
 //	simd [-addr :8080] [-worker] [-workers N] [-max-insts 100000000]
 //	     [-max-shards 4096] [-drain 30s]
+//	     [-queue-depth 64] [-max-running 2] [-retain 15m]
+//	     [-backends http://w1:8081,http://w2:8082] [-hedge]
 //	     [-cache-entries 4096] [-cache-bytes 268435456] [-cache-dir DIR]
 package main
 
@@ -59,6 +88,7 @@ import (
 	"net/http"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +96,7 @@ import (
 	"rebalance/internal/sim"
 	"rebalance/internal/sim/dispatch"
 	"rebalance/internal/sim/shardcache"
+	"rebalance/internal/sim/sweep"
 	"rebalance/internal/workload"
 	"rebalance/internal/workload/synth"
 )
@@ -77,16 +108,27 @@ const maxSpecBytes = 1 << 20
 func main() {
 	var (
 		addrFlag      = flag.String("addr", ":8080", "listen address")
-		workerFlag    = flag.Bool("worker", false, "worker mode: serve only the shard protocol (no /v1/runs)")
+		workerFlag    = flag.Bool("worker", false, "worker mode: serve only the shard protocol (no /v1/runs, no /v1/sweeps)")
 		workersFlag   = flag.Int("workers", runtime.GOMAXPROCS(0), "shard worker goroutines per run")
 		maxInstsFlag  = flag.Int64("max-insts", 100_000_000, "reject specs with a larger per-shard instruction budget (0 = unlimited)")
 		maxShardsFlag = flag.Int("max-shards", 4096, "reject specs expanding to more shards than this (0 = unlimited)")
 		drainFlag     = flag.Duration("drain", 30*time.Second, "in-flight drain budget on SIGINT/SIGTERM")
+		queueFlag     = flag.Int("queue-depth", 64, "sweep coordinator: max queued sweeps per tenant (beyond it submits get 429)")
+		maxRunFlag    = flag.Int("max-running", 2, "sweep coordinator: max concurrently executing sweeps")
+		retainFlag    = flag.Duration("retain", 15*time.Minute, "sweep coordinator: how long finished sweeps stay pollable")
+		backendsFlag  = flag.String("backends", "", "comma-separated simd worker URLs; dispatch shard grids to them instead of the local pool")
+		hedgeFlag     = flag.Bool("hedge", false, "with -backends, duplicate straggling shards onto a second healthy worker; first result wins")
 		cacheEntsFlag = flag.Int("cache-entries", 4096, "shard result cache: max in-memory entries (0 disables the cache)")
 		cacheByteFlag = flag.Int64("cache-bytes", 256<<20, "shard result cache: max in-memory payload bytes")
 		cacheDirFlag  = flag.String("cache-dir", "", "shard result cache: directory for the persistent disk tier (empty = memory only)")
 	)
 	flag.Parse()
+	if *workerFlag && *backendsFlag != "" {
+		log.Fatalf("simd: -worker and -backends are mutually exclusive: a fleet worker runs shards itself")
+	}
+	if *hedgeFlag && *backendsFlag == "" {
+		log.Fatalf("simd: -hedge needs -backends: the local pool has no second worker to duplicate stragglers onto")
+	}
 	sess := sim.NewSession(*workersFlag)
 	sess.SetMaxShards(*maxShardsFlag)
 	var cache *shardcache.Cache
@@ -102,6 +144,40 @@ func main() {
 		}
 		sess.SetCache(cache)
 	}
+	cfg := serverConfig{sess: sess, maxInsts: *maxInstsFlag, worker: *workerFlag}
+	if *backendsFlag != "" {
+		backends, err := dispatch.ParseBackends(*backendsFlag, dispatch.DefaultClient())
+		if err != nil {
+			log.Fatalf("simd: %v", err)
+		}
+		// The dispatcher shares the process's shard cache: a dispatched
+		// run's results are cached (and served) by the same content
+		// addresses the local path uses, so sweeps from different tenants
+		// deduplicate through one tier.
+		d, err := dispatch.New(backends, dispatch.Options{
+			MaxInFlight: *workersFlag,
+			Hedge:       *hedgeFlag,
+			Cache:       cache,
+		})
+		if err != nil {
+			log.Fatalf("simd: %v", err)
+		}
+		sess.SetRunner(d)
+		cfg.dispatcher = d
+	}
+	if !*workerFlag {
+		coord, err := sweep.New(sweep.Options{
+			Run:        sess.Run,
+			QueueDepth: *queueFlag,
+			MaxRunning: *maxRunFlag,
+			Retain:     *retainFlag,
+			MaxShards:  *maxShardsFlag,
+		})
+		if err != nil {
+			log.Fatalf("simd: %v", err)
+		}
+		cfg.coord = coord
+	}
 	ln, err := net.Listen("tcp", *addrFlag)
 	if err != nil {
 		log.Fatalf("simd: %v", err)
@@ -113,9 +189,12 @@ func main() {
 	log.Printf("simd: %s listening on %s (%d workers)", mode, ln.Addr(), *workersFlag)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Handler: newServer(sess, *maxInstsFlag, *workerFlag)}
+	srv := &http.Server{Handler: newServer(cfg)}
 	if err := serve(ctx, srv, ln, *drainFlag); err != nil {
 		log.Fatalf("simd: %v", err)
+	}
+	if cfg.coord != nil {
+		cfg.coord.Close()
 	}
 	log.Printf("simd: drained, exiting")
 }
@@ -143,26 +222,79 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 	return nil
 }
 
-// newServer builds the simd handler around a shared session. worker mode
-// withholds the coordinator run endpoint and serves only the shard
-// protocol plus the registry listings and cache stats. Split from main so
-// tests drive it through httptest.
-func newServer(sess *sim.Session, maxInsts int64, worker bool) http.Handler {
+// serverConfig wires the simd handler's collaborators. sess and maxInsts
+// are always set; coord is the async sweep coordinator (nil in worker
+// mode), and dispatcher is the shared remote-shard dispatcher (nil
+// without -backends).
+type serverConfig struct {
+	sess       *sim.Session
+	maxInsts   int64
+	worker     bool
+	coord      *sweep.Coordinator
+	dispatcher *dispatch.Dispatcher
+}
+
+// newServer builds the simd handler. Worker mode withholds the
+// coordinator surfaces (/v1/runs, /v1/sweeps) and serves only the shard
+// protocol plus the registry listings and stats. Split from main so tests
+// drive it through httptest.
+func newServer(cfg serverConfig) http.Handler {
+	sess := cfg.sess
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/cache/stats", func(w http.ResponseWriter, r *http.Request) {
-		cache := sess.Cache()
-		if cache == nil {
-			writeJSON(w, http.StatusOK, map[string]any{"enabled": false, "stats": shardcache.Stats{}})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"enabled": true, "stats": cache.Stats()})
+		writeJSON(w, http.StatusOK, cacheSection(sess))
 	})
-	if !worker {
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		out := map[string]any{"cache": cacheSection(sess)}
+		if cfg.dispatcher != nil {
+			out["dispatch"] = cfg.dispatcher.Stats()
+		}
+		if cfg.coord != nil {
+			out["sweeps"] = cfg.coord.Stats()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	if !cfg.worker {
 		mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
-			handleRun(w, r, sess, maxInsts)
+			handleRun(w, r, sess, cfg.maxInsts)
 		})
 	}
-	mux.Handle("POST "+dispatch.ShardsPath, dispatch.WorkerHandler(sess, maxInsts))
+	if cfg.coord != nil {
+		mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+			handleSweepSubmit(w, r, cfg.coord, cfg.maxInsts)
+		})
+		mux.HandleFunc("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]any{"sweeps": cfg.coord.List(r.URL.Query().Get("tenant"))})
+		})
+		mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			st, ok := cfg.coord.Get(id)
+			if !ok {
+				writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", id))
+				return
+			}
+			partial, _ := cfg.coord.Partial(id)
+			writeJSON(w, http.StatusOK, sweepView{Status: st, ShardsSoFar: partial})
+		})
+		mux.HandleFunc("GET /v1/sweeps/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+			handleSweepResult(w, r, cfg.coord)
+		})
+		mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			st, err := cfg.coord.Cancel(id)
+			switch {
+			case errors.Is(err, sweep.ErrNotFound):
+				writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", id))
+			case errors.Is(err, sweep.ErrTerminal):
+				writeError(w, http.StatusConflict, fmt.Errorf("sweep %q is already %s", id, st.State))
+			case err != nil:
+				writeError(w, http.StatusInternalServerError, err)
+			default:
+				writeJSON(w, http.StatusOK, st)
+			}
+		})
+	}
+	mux.Handle("POST "+dispatch.ShardsPath, dispatch.WorkerHandler(sess, cfg.maxInsts))
 	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"workloads": workload.Names()})
 	})
@@ -193,7 +325,97 @@ func newServer(sess *sim.Session, maxInsts int64, worker bool) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
-	return mux
+	return envelope(mux)
+}
+
+// cacheSection is the shard-cache stats block /v1/cache/stats serves and
+// /v1/stats embeds.
+func cacheSection(sess *sim.Session) map[string]any {
+	cache := sess.Cache()
+	if cache == nil {
+		return map[string]any{"enabled": false, "stats": shardcache.Stats{}}
+	}
+	return map[string]any{"enabled": true, "stats": cache.Stats()}
+}
+
+// sweepView is the GET /v1/sweeps/{id} body: the status snapshot plus the
+// shards that have landed so far (the report-so-far; empty once the sweep
+// is terminal, when the final report supersedes it).
+type sweepView struct {
+	sweep.Status
+	ShardsSoFar []sim.Shard `json:"shards_so_far,omitempty"`
+}
+
+// tenantOf names the requesting tenant: ?tenant= wins, then the X-Tenant
+// header, then "default". Single-tenant clients never need to say it.
+func tenantOf(r *http.Request) string {
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// handleSweepSubmit is POST /v1/sweeps: decode and validate exactly like
+// the synchronous run endpoint, then enqueue instead of executing. The
+// 202 body is the initial status snapshot (carrying the sweep ID the
+// client polls). Admission failures map to 429 + Retry-After; invalid
+// specs to 400 before they ever occupy a queue slot.
+func handleSweepSubmit(w http.ResponseWriter, r *http.Request, coord *sweep.Coordinator, maxInsts int64) {
+	body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var spec sim.Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	if maxInsts > 0 && spec.Insts > maxInsts {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("per-shard budget %d exceeds server limit %d", spec.Insts, maxInsts))
+		return
+	}
+	st, err := coord.Submit(tenantOf(r), &spec)
+	switch {
+	case errors.Is(err, sim.ErrInvalidSpec):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, sweep.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, sweep.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// handleSweepResult is GET /v1/sweeps/{id}/result: the final report of a
+// done sweep, 409 + Retry-After while the sweep is still queued or
+// running (the poll loop's signal to come back), 410 for a cancelled
+// sweep, and the terminal error as a 500 for a failed one.
+func handleSweepResult(w http.ResponseWriter, r *http.Request, coord *sweep.Coordinator) {
+	id := r.PathValue("id")
+	rep, err := coord.Report(id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, rep)
+	case errors.Is(err, sweep.ErrNotFound):
+		writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", id))
+	case errors.Is(err, sweep.ErrNotTerminal):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Errorf("sweep %q has not finished", id))
+	default:
+		// Terminal without a report: cancelled is the resource being gone,
+		// anything else is the sweep's own failure.
+		status := http.StatusInternalServerError
+		if st, ok := coord.Get(id); ok && st.State == sweep.StateCancelled {
+			status = http.StatusGone
+		}
+		writeError(w, status, err)
+	}
 }
 
 func handleRun(w http.ResponseWriter, r *http.Request, sess *sim.Session, maxInsts int64) {
@@ -234,8 +456,57 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(buf.Bytes())
 }
 
+// writeError is the error envelope every simd 4xx/5xx carries: the
+// message plus a code field mirroring the HTTP status, so clients that
+// only surface the decoded body still see the class of failure.
 func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "code": status})
+}
+
+// envelope wraps a handler so error responses produced outside our own
+// writeError — ServeMux's plain-text 404s and 405s, MaxBytesReader's
+// 413s — carry the same JSON envelope as everything else. Any 4xx/5xx
+// whose Content-Type is not already JSON has its body replaced with
+// {"error": <status text>, "code": N}; headers the original handler set
+// (Allow on a 405, for instance) pass through untouched.
+func envelope(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+type envelopeWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	intercepted bool
+}
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	if status >= 400 && !strings.Contains(w.Header().Get("Content-Type"), "application/json") {
+		w.intercepted = true
+		w.Header().Set("Content-Type", "application/json")
+		w.ResponseWriter.WriteHeader(status)
+		enc, _ := json.Marshal(map[string]any{"error": http.StatusText(status), "code": status})
+		_, _ = w.ResponseWriter.Write(append(enc, '\n'))
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.intercepted {
+		// The original plain-text body is superseded by the envelope;
+		// report it written so the handler unwinds normally.
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
 }

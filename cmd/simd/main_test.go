@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rebalance/internal/sim"
+	"rebalance/internal/sim/sweep"
 	"rebalance/internal/workload/synth"
 )
 
@@ -20,7 +21,12 @@ func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	sess := sim.NewSession(2)
 	sess.SetMaxShards(256)
-	srv := httptest.NewServer(newServer(sess, 1_000_000, false))
+	coord, err := sweep.New(sweep.Options{Run: sess.Run, MaxShards: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	srv := httptest.NewServer(newServer(serverConfig{sess: sess, maxInsts: 1_000_000, coord: coord}))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -159,7 +165,7 @@ func TestRunRoundTrip(t *testing.T) {
 // and registry listings are served, the coordinator run endpoint is not.
 func TestWorkerMode(t *testing.T) {
 	sess := sim.NewSession(2)
-	srv := httptest.NewServer(newServer(sess, 1_000_000, true))
+	srv := httptest.NewServer(newServer(serverConfig{sess: sess, maxInsts: 1_000_000, worker: true}))
 	defer srv.Close()
 
 	shard := `{
@@ -225,7 +231,7 @@ func TestWorkerMode(t *testing.T) {
 // response, stop accepting new connections, and return.
 func TestGracefulShutdown(t *testing.T) {
 	sess := sim.NewSession(1)
-	inner := newServer(sess, 0, false)
+	inner := newServer(serverConfig{sess: sess})
 	started := make(chan struct{})
 	var once sync.Once
 	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -267,6 +267,10 @@ func (d *Dispatcher) RunShards(ctx context.Context, specs []sim.ShardSpec) ([]si
 					continue
 				}
 				shards[i], attempts[i], errs[i] = d.runOne(ctx, specs[i])
+				// Deliver the outcome to the caller's progress hook (a
+				// no-op without one); sim.ShardDone filters cancellations,
+				// so an aborting run does not report skipped shards.
+				sim.ShardDone(ctx, shards[i], errs[i])
 				if errs[i] != nil && !d.opts.AllowPartial {
 					cancel() // abort the rest promptly
 				}

@@ -176,7 +176,10 @@ func WorkerHandler(sess *sim.Session, maxInsts int64) http.Handler {
 func writeShardError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	// The code field mirrors the status line for clients that surface the
+	// decoded body alone; RunShard's decoder ignores unknown fields, so
+	// older coordinators are unaffected.
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "code": status})
 }
 
 // ParseBackends builds HTTP backends from a comma-separated URL list (the

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"context"
+	"errors"
+)
+
+// ShardDoneFunc observes one shard of a run reaching a terminal outcome:
+// computed, served from a cache, or — under AllowPartial — abandoned with
+// a terminal error. It receives the completed shard (zero-valued when err
+// is non-nil) and must be safe for concurrent calls: the session's local
+// pool and the dispatch layer both deliver completions from multiple
+// worker goroutines at once.
+type ShardDoneFunc func(sh Shard, err error)
+
+// shardDoneKey is the context key WithShardDone stores the hook under.
+type shardDoneKey struct{}
+
+// WithShardDone returns a context that delivers every terminal shard
+// outcome of runs executed under it to fn. The hook is observational
+// only: it changes no report bytes, and a run executed with or without it
+// produces byte-identical output. Shards skipped because the run was
+// cancelled are not delivered — they have no outcome, terminal or
+// otherwise. A nil fn returns ctx unchanged.
+//
+// This is the seam a sweep coordinator hangs live progress on: the hook
+// travels through the context into the local pool and, because the same
+// context flows into ShardRunner.RunShards, through the dispatch layer to
+// remote completions as well.
+func WithShardDone(ctx context.Context, fn ShardDoneFunc) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, shardDoneKey{}, fn)
+}
+
+// ShardDone invokes ctx's shard-completion hook, if any. It is exported
+// for ShardRunner implementations (the dispatch layer) that execute
+// shards outside the session's local pool; the session calls it for local
+// shards itself. Callers must not deliver cancellation errors — a
+// cancelled shard was skipped, not completed — and must deliver each
+// shard's outcome exactly once.
+func ShardDone(ctx context.Context, sh Shard, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	if fn, ok := ctx.Value(shardDoneKey{}).(ShardDoneFunc); ok {
+		fn(sh, err)
+	}
+}

@@ -310,6 +310,9 @@ func (s *Session) runLocal(ctx context.Context, norm *Spec, jobs []shardJob, com
 					continue
 				}
 				shards[i], errs[i] = s.cachedShard(ctx, compiled[job.workload], job, norm)
+				// Deliver the outcome to the context's progress hook (a
+				// no-op without one); ShardDone filters cancellations.
+				ShardDone(ctx, shards[i], errs[i])
 			}
 		}()
 	}

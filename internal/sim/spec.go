@@ -205,6 +205,23 @@ func (s *Spec) Validate() error {
 	return err
 }
 
+// GridSize validates the spec and returns the number of shards it
+// expands to: {workloads x observer-configs x seeds}. It is the admission
+// currency of the sweep coordinator — a sweep's scheduling cost is its
+// shard count — computed without building the grid. Every failure wraps
+// ErrInvalidSpec.
+func (s *Spec) GridSize() (int, error) {
+	norm, err := s.normalized(0)
+	if err != nil {
+		return 0, err
+	}
+	cfgs, err := expandObservers(norm.Observers)
+	if err != nil {
+		return 0, err
+	}
+	return len(norm.Workloads) * len(cfgs) * len(norm.Seeds), nil
+}
+
 // DecodeSpec parses and validates a Spec from JSON. Unknown fields,
 // malformed JSON, and semantically invalid specs all report ErrInvalidSpec,
 // so servers can map any decode failure to a 400 without inspecting it.
