@@ -13,12 +13,24 @@ import (
 	"time"
 
 	"rebalance/internal/sim"
+	"rebalance/internal/sim/sweep"
+	"rebalance/internal/wire"
 )
 
 // maxCoordRespBytes bounds coordinator response bodies. Result reports
 // scale with the grid, so the bound matches the dispatch layer's shard
 // ceiling rather than the tiny spec/status bodies.
 const maxCoordRespBytes = 64 << 20
+
+// sweepStatus mirrors simd's sweep view byte for byte: the
+// coordinator's status snapshot plus the incremental shard results the
+// GET endpoint attaches. Decoding it strictly means the bench client
+// fails loudly the moment the coordinator's wire surface drifts,
+// instead of silently ignoring fields.
+type sweepStatus struct {
+	sweep.Status
+	ShardsSoFar json.RawMessage `json:"shards_so_far"`
+}
 
 // runCoordinatorSweep executes one sweep through a simd coordinator's
 // async API: submit the spec under the tenant, poll the sweep's progress
@@ -42,21 +54,12 @@ func runCoordinatorSweep(ctx context.Context, base, tenant string, spec *sim.Spe
 	if status != http.StatusAccepted {
 		return nil, coordError("submitting sweep", status, data)
 	}
-	var st struct {
-		ID       string `json:"id"`
-		State    string `json:"state"`
-		Error    string `json:"error"`
-		Progress struct {
-			Total  int `json:"total_shards"`
-			Done   int `json:"done_shards"`
-			Cached int `json:"cached_shards"`
-		} `json:"progress"`
-	}
-	if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
+	var st sweepStatus
+	if err := wire.StrictUnmarshal(data, &st); err != nil || st.ID == "" {
 		return nil, fmt.Errorf("coordinator submit response is not a sweep status: %v (%s)", err, data)
 	}
 	fmt.Fprintf(os.Stderr, "rebalance-bench: sweep %s submitted (%d shards) to %s as tenant %q\n",
-		st.ID, st.Progress.Total, base, tenant)
+		st.ID, st.Progress.TotalShards, base, tenant)
 
 	statusURL := base + "/v1/sweeps/" + st.ID
 	lastDone := -1
@@ -80,16 +83,17 @@ func runCoordinatorSweep(ctx context.Context, base, tenant string, spec *sim.Spe
 		if status != http.StatusOK {
 			return nil, coordError("polling sweep "+st.ID, status, data)
 		}
-		if err := json.Unmarshal(data, &st); err != nil {
+		st = sweepStatus{}
+		if err := wire.StrictUnmarshal(data, &st); err != nil {
 			return nil, fmt.Errorf("decoding sweep status: %w", err)
 		}
-		if st.Progress.Done != lastDone {
-			lastDone = st.Progress.Done
+		if st.Progress.DoneShards != lastDone {
+			lastDone = st.Progress.DoneShards
 			fmt.Fprintf(os.Stderr, "rebalance-bench: sweep %s: %s, %d/%d shards (%d cached)\n",
-				st.ID, st.State, st.Progress.Done, st.Progress.Total, st.Progress.Cached)
+				st.ID, st.State, st.Progress.DoneShards, st.Progress.TotalShards, st.Progress.CachedShards)
 		}
 		switch st.State {
-		case "done":
+		case sweep.StateDone:
 			data, status, err := coordDo(ctx, http.MethodGet, statusURL+"/result", nil)
 			if err != nil {
 				return nil, err
@@ -98,7 +102,7 @@ func runCoordinatorSweep(ctx context.Context, base, tenant string, spec *sim.Spe
 				return nil, coordError("fetching sweep "+st.ID+" result", status, data)
 			}
 			return sim.DecodeReport(data)
-		case "failed", "cancelled":
+		case sweep.StateFailed, sweep.StateCancelled:
 			return nil, fmt.Errorf("sweep %s landed %s: %s", st.ID, st.State, st.Error)
 		}
 	}
@@ -134,11 +138,14 @@ func coordDo(ctx context.Context, method, u string, body []byte) ([]byte, int, e
 // coordError shapes a non-2xx coordinator response into an error, using
 // the JSON error envelope's message when the body carries one.
 func coordError(doing string, status int, body []byte) error {
+	// simd's envelope is exactly {"error", "code"}; any other body shape
+	// fails the strict decode and is surfaced raw.
 	var e struct {
 		Error string `json:"error"`
+		Code  int    `json:"code"`
 	}
 	msg := strings.TrimSpace(string(body))
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+	if wire.StrictUnmarshal(body, &e) == nil && e.Error != "" {
 		msg = e.Error
 	}
 	return fmt.Errorf("%s: coordinator status %d: %s", doing, status, msg)

@@ -1,0 +1,135 @@
+// Command repolint runs the repository's custom analyzer suite
+// (internal/lint/checks) over module packages.
+//
+// Standalone:
+//
+//	repolint [-fix] [packages]       # default ./...
+//
+// As a vet tool (the unitchecker protocol cmd/go speaks):
+//
+//	go vet -vettool=$(which repolint) ./...
+//
+// Exit status is 0 when the tree is clean, 1 when diagnostics remain
+// (after -fix application, if requested), 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rebalance/internal/lint"
+	"rebalance/internal/lint/checks"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// cmd/go probes vet tools before handing them package units; answer
+	// the protocol when invoked that way (see unit.go).
+	if code, handled := maybeUnitchecker(args); handled {
+		return code
+	}
+
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fix := fs.Bool("fix", false, "apply suggested fixes to the source tree")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range checks.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+
+	unfixed := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, checks.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		if *fix {
+			applied, err := applyFixes(pkg, diags)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "repolint:", err)
+				return 2
+			}
+			if applied > 0 {
+				fmt.Printf("repolint: applied %d fix(es) in %s\n", applied, pkg.Path)
+			}
+			for _, d := range diags {
+				if len(d.Fixes) == 0 {
+					unfixed++
+				}
+			}
+		} else {
+			unfixed += len(diags)
+		}
+	}
+	if unfixed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// applyFixes rewrites the package's files with every suggested fix,
+// splicing edits back-to-front so earlier offsets stay valid.
+func applyFixes(pkg *lint.Package, diags []lint.Diagnostic) (int, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	applied := 0
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			applied++
+			for _, e := range f.Edits {
+				pos := pkg.Fset.Position(e.Pos)
+				end := pkg.Fset.Position(e.End)
+				perFile[pos.Filename] = append(perFile[pos.Filename], edit{pos.Offset, end.Offset, e.NewText})
+			}
+		}
+	}
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return applied, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				return applied, fmt.Errorf("fix edit out of range in %s", file)
+			}
+			src = append(src[:e.start], append(e.text, src[e.end:]...)...)
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

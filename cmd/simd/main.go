@@ -97,6 +97,7 @@ import (
 	"rebalance/internal/sim/dispatch"
 	"rebalance/internal/sim/shardcache"
 	"rebalance/internal/sim/sweep"
+	"rebalance/internal/wire"
 	"rebalance/internal/workload"
 	"rebalance/internal/workload/synth"
 )
@@ -365,10 +366,8 @@ func tenantOf(r *http.Request) string {
 // specs to 400 before they ever occupy a queue slot.
 func handleSweepSubmit(w http.ResponseWriter, r *http.Request, coord *sweep.Coordinator, maxInsts int64) {
 	body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
 	var spec sim.Spec
-	if err := dec.Decode(&spec); err != nil {
+	if err := wire.StrictDecode(body, &spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
 		return
 	}
@@ -420,10 +419,8 @@ func handleSweepResult(w http.ResponseWriter, r *http.Request, coord *sweep.Coor
 
 func handleRun(w http.ResponseWriter, r *http.Request, sess *sim.Session, maxInsts int64) {
 	body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
 	var spec sim.Spec
-	if err := dec.Decode(&spec); err != nil {
+	if err := wire.StrictDecode(body, &spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
 		return
 	}

@@ -82,7 +82,7 @@ func phaseRange(p Phase) []int {
 func (a *Bias) Histogram(p Phase) *stats.Histogram {
 	h := stats.NewHistogram(10)
 	idx := phaseRange(p)
-	for _, s := range a.exec {
+	for _, s := range a.exec { //repolint:allow nodeterminism per-site histogram increments commute
 		var exec, taken int64
 		for _, i := range idx {
 			exec += s.exec[i]
@@ -197,7 +197,7 @@ type BiasResult struct {
 // Result snapshots the analyzer's counters (deep copy).
 func (a *Bias) Result() *BiasResult {
 	r := &BiasResult{Sites: make(map[isa.Addr]SiteBias, len(a.exec)), Dirs: a.dirs, Conds: a.conds}
-	for pc, s := range a.exec {
+	for pc, s := range a.exec { //repolint:allow nodeterminism map-to-map deep copy, no ordered output
 		r.Sites[pc] = SiteBias{Exec: s.exec, Taken: s.taken}
 	}
 	return r
@@ -212,7 +212,7 @@ func (r *BiasResult) Merge(other any) error {
 	if r.Sites == nil {
 		r.Sites = make(map[isa.Addr]SiteBias, len(o.Sites))
 	}
-	for pc, os := range o.Sites {
+	for pc, os := range o.Sites { //repolint:allow nodeterminism order-insensitive fold (commutative integer adds per key)
 		s := r.Sites[pc]
 		for i := 0; i < 2; i++ {
 			s.Exec[i] += os.Exec[i]
@@ -232,7 +232,7 @@ func (r *BiasResult) Merge(other any) error {
 // histogram builds the Figure 2 distribution over the given phase indices.
 func (r *BiasResult) histogram(idx []int) *stats.Histogram {
 	h := stats.NewHistogram(10)
-	for _, s := range r.Sites {
+	for _, s := range r.Sites { //repolint:allow nodeterminism per-site histogram increments commute
 		var exec, taken int64
 		for _, i := range idx {
 			exec += s.Exec[i]
@@ -281,7 +281,7 @@ func (r *BiasResult) EncodeJSON() ([]byte, error) {
 	out.Counters.Dirs = r.Dirs
 	out.Counters.Conds = r.Conds
 	out.Counters.Sites = make([]siteWire, 0, len(r.Sites))
-	for pc, s := range r.Sites {
+	for pc, s := range r.Sites { //repolint:allow nodeterminism appended then sorted before encoding
 		out.Counters.Sites = append(out.Counters.Sites, siteWire{PC: uint64(pc), Exec: s.Exec, Taken: s.Taken})
 	}
 	sort.Slice(out.Counters.Sites, func(i, j int) bool {

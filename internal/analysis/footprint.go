@@ -69,12 +69,12 @@ func (a *Footprint) ObserveBatch(batch []isa.Inst) {
 func (a *Footprint) items(p Phase) []stats.WeightedItem {
 	merged := make(map[uint64]int64)
 	for _, i := range phaseRange(p) {
-		for c, w := range a.chunks[i] {
+		for c, w := range a.chunks[i] { //repolint:allow nodeterminism order-insensitive fold (commutative integer adds per key)
 			merged[c] += w
 		}
 	}
 	out := make([]stats.WeightedItem, 0, len(merged))
-	for _, w := range merged {
+	for _, w := range merged { //repolint:allow nodeterminism coverage depends only on the weight multiset
 		out = append(out, stats.WeightedItem{Size: footprintGranularity, Weight: w})
 	}
 	return out
@@ -128,7 +128,7 @@ func (a *Footprint) Result(staticBytes int64) *FootprintResult {
 	r := &FootprintResult{StaticBytes: staticBytes}
 	for i := 0; i < 2; i++ {
 		r.Chunks[i] = make(map[uint64]int64, len(a.chunks[i]))
-		for c, w := range a.chunks[i] {
+		for c, w := range a.chunks[i] { //repolint:allow nodeterminism map-to-map deep copy, no ordered output
 			r.Chunks[i][c] = w
 		}
 	}
@@ -151,7 +151,7 @@ func (r *FootprintResult) Merge(other any) error {
 		if r.Chunks[i] == nil {
 			r.Chunks[i] = make(map[uint64]int64, len(o.Chunks[i]))
 		}
-		for c, w := range o.Chunks[i] {
+		for c, w := range o.Chunks[i] { //repolint:allow nodeterminism order-insensitive fold (commutative integer adds per key)
 			r.Chunks[i][c] += w
 		}
 	}
@@ -163,12 +163,12 @@ func (r *FootprintResult) Merge(other any) error {
 func (r *FootprintResult) bytesFor(idx []int, coverage float64) int64 {
 	merged := make(map[uint64]int64)
 	for _, i := range idx {
-		for c, w := range r.Chunks[i] {
+		for c, w := range r.Chunks[i] { //repolint:allow nodeterminism order-insensitive fold (commutative integer adds per key)
 			merged[c] += w
 		}
 	}
 	items := make([]stats.WeightedItem, 0, len(merged))
-	for _, w := range merged {
+	for _, w := range merged { //repolint:allow nodeterminism coverage depends only on the weight multiset
 		items = append(items, stats.WeightedItem{Size: footprintGranularity, Weight: w})
 	}
 	return stats.FootprintForCoverage(items, coverage)
@@ -207,7 +207,7 @@ func (r *FootprintResult) EncodeJSON() ([]byte, error) {
 	out.Counters.StaticBytes = r.StaticBytes
 	for i := 0; i < 2; i++ {
 		cs := make([]chunkWire, 0, len(r.Chunks[i]))
-		for c, w := range r.Chunks[i] {
+		for c, w := range r.Chunks[i] { //repolint:allow nodeterminism appended then sorted before encoding
 			cs = append(cs, chunkWire{Chunk: c, Weight: w})
 		}
 		sort.Slice(cs, func(a, b int) bool { return cs[a].Chunk < cs[b].Chunk })

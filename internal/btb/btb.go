@@ -258,8 +258,8 @@ type resultWire struct {
 // EncodeJSON renders the result as its canonical JSON artifact. Array
 // counters are indexed [serial, parallel].
 func (r *Result) EncodeJSON() ([]byte, error) {
-	return json.Marshal(resultWire{r.Name, r.Entries, r.Ways, r.Insts, r.Lookups, r.Misses,
-		r.MPKI(), r.MPKISerial(), r.MPKIParallel(), r.MissRate()})
+	return json.Marshal(resultWire{Name: r.Name, Entries: r.Entries, Ways: r.Ways, Insts: r.Insts, Lookups: r.Lookups, Misses: r.Misses,
+		MPKI: r.MPKI(), MPKISerial: r.MPKISerial(), MPKIParallel: r.MPKIParallel(), MissRate: r.MissRate()})
 }
 
 // DecodeResult parses a Result from its canonical JSON artifact, so a

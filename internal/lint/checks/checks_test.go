@@ -1,0 +1,67 @@
+package checks_test
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"rebalance/internal/lint"
+	"rebalance/internal/lint/checks"
+)
+
+// One loader for the whole test binary: it shells out to `go list
+// -export` and caches export data, so sharing it keeps the fixture
+// tests fast.
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = lint.NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("creating loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// runFixture loads testdata/src/<dir> under the given import path —
+// the path is what an analyzer's scoping rules see, so fixtures can
+// impersonate determinism-critical or exempt packages — and checks the
+// analyzer's diagnostics against the fixture's `// want` comments.
+func runFixture(t *testing.T, a *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	lint.RunTest(t, sharedLoader(t), a, filepath.Join("testdata", "src", dir), importPath)
+}
+
+func TestNodeterminism(t *testing.T) {
+	runFixture(t, checks.Nodeterminism, "nodeterminism", "rebalance/internal/trace")
+}
+
+func TestNodeterminismExemptPackage(t *testing.T) {
+	runFixture(t, checks.Nodeterminism, "nodeterminism_excluded", "rebalance/internal/sim/dispatch")
+}
+
+func TestStrictwire(t *testing.T) {
+	runFixture(t, checks.Strictwire, "strictwire", "rebalance/internal/sim")
+}
+
+func TestStrictwireInsideWirePackage(t *testing.T) {
+	runFixture(t, checks.Strictwire, "strictwire_wirepkg", "rebalance/internal/wire")
+}
+
+func TestRegistryinit(t *testing.T) {
+	runFixture(t, checks.Registryinit, "registryinit", "rebalance/internal/regfix")
+}
+
+func TestMergecontract(t *testing.T) {
+	runFixture(t, checks.Mergecontract, "mergecontract", "rebalance/internal/mergefix")
+}
+
+func TestCtxpoll(t *testing.T) {
+	runFixture(t, checks.Ctxpoll, "ctxpoll", "rebalance/internal/sim/dispatch")
+}

@@ -1,0 +1,36 @@
+package checks_test
+
+import (
+	"testing"
+
+	"rebalance/internal/lint"
+	"rebalance/internal/lint/checks"
+)
+
+// TestRepoClean is the wall: the full analyzer suite over every module
+// package must report nothing. A new violation anywhere in the tree
+// fails `go test ./...` with the exact file:line and invariant, the
+// same output `make lint` and CI print.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	l := sharedLoader(t)
+	pkgs, err := l.Load("rebalance/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, checks.All())
+		if err != nil {
+			t.Errorf("analyzing %s: %v", pkg.Path, err)
+			continue
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}

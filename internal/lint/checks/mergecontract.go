@@ -1,0 +1,142 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rebalance/internal/lint"
+)
+
+// Mergecontract enforces the sim.Result folding contract on every
+// method with the shape Merge(any) error: the argument must be
+// type-checked with a guarded (two-result or type-switch) assertion,
+// one-result assertions on the argument are forbidden (they panic on
+// mismatch), and the body must not panic at all. Merge runs on shards
+// that crossed process boundaries — dispatch folds worker results, the
+// cache folds decoded artifacts — so a mismatched artifact must surface
+// as a retryable error on one shard, never as a crash that takes the
+// whole sweep down.
+var Mergecontract = &lint.Analyzer{
+	Name: "mergecontract",
+	Doc:  "Merge(any) error implementations must guard their type assertion and return errors, never panic",
+	Run:  runMergecontract,
+}
+
+func runMergecontract(pass *lint.Pass) error {
+	if !inModule(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Recv != nil && fd.Name.Name == "Merge" && fd.Body != nil {
+				if param := mergeAnyParam(pass.Info, fd); param != nil {
+					checkMergeBody(pass, fd, param)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// mergeAnyParam returns the parameter object of a Merge(any) error
+// method, or nil if the method has a different shape (typed-parameter
+// Merges cannot mismatch and are out of scope).
+func mergeAnyParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return nil
+	}
+	iface, ok := sig.Params().At(0).Type().Underlying().(*types.Interface)
+	if !ok || iface.NumMethods() != 0 {
+		return nil
+	}
+	if sig.Results().At(0).Type().String() != "error" {
+		return nil
+	}
+	return sig.Params().At(0)
+}
+
+func checkMergeBody(pass *lint.Pass, fd *ast.FuncDecl, param types.Object) {
+	guarded := false
+	asserted := false // any type check on the param, even an unguarded one
+	inspectStack([]*ast.File{wrapDecl(fd)}, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.TypeSwitchStmt:
+			if x := typeSwitchSubject(n); x != nil && usesObject(pass.Info, x, param) {
+				guarded = true
+			}
+		case *ast.TypeAssertExpr:
+			if n.Type == nil {
+				return true // the x.(type) inside a type switch
+			}
+			if !usesObject(pass.Info, n.X, param) {
+				return true
+			}
+			asserted = true
+			if isCommaOK(stack) {
+				guarded = true
+			} else {
+				pass.Reportf(n.Pos(), "one-result type assertion on %s panics on a mismatched merge; use the two-result form and return an error", param.Name())
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					pass.Reportf(n.Pos(), "Merge must return an error on a mismatched or malformed result, not panic: a bad shard artifact has to fail one shard, not the process")
+				}
+			}
+		}
+		return true
+	})
+	if !guarded && !asserted {
+		pass.Reportf(fd.Name.Pos(), "Merge(any) implementation never type-checks its argument %q with a guarded assertion; assert the concrete type with the two-result form and return an error on mismatch", param.Name())
+	}
+}
+
+// wrapDecl lets inspectStack walk a single declaration.
+func wrapDecl(fd *ast.FuncDecl) *ast.File {
+	return &ast.File{Name: ast.NewIdent("_"), Decls: []ast.Decl{fd}}
+}
+
+func typeSwitchSubject(ts *ast.TypeSwitchStmt) ast.Expr {
+	switch a := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if x, ok := ast.Unparen(a.X).(*ast.TypeAssertExpr); ok {
+			return x.X
+		}
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if x, ok := ast.Unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				return x.X
+			}
+		}
+	}
+	return nil
+}
+
+func usesObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// isCommaOK reports whether the innermost enclosing statement consumes
+// the assertion in its two-result form.
+func isCommaOK(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.AssignStmt:
+			return len(s.Lhs) == 2 && len(s.Rhs) == 1
+		case *ast.ValueSpec:
+			return len(s.Names) == 2 && len(s.Values) == 1
+		case *ast.ParenExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+package checks
+
+import (
+	"go/ast"
+	"strings"
+
+	"rebalance/internal/lint"
+)
+
+// Registryinit confines calls to the module's registration functions
+// (workload.Register, bpred.RegisterConfig, sim.RegisterObserver,
+// synth.RegisterFamily, and anything else named Register*) to init
+// functions, package-level initializers, or other Register* helpers.
+// The registries are plain maps read concurrently by every Session and
+// worker after startup; registration that can run late is a data race
+// and a name-resolution heisenbug, so it is outlawed at the call site.
+// Tests (_test.go files) are exempt — the harness drops their
+// diagnostics — because test helpers register scratch fixtures.
+var Registryinit = &lint.Analyzer{
+	Name: "registryinit",
+	Doc:  "registration functions may only be called from init, package-level initializers, or other Register* helpers",
+	Run:  runRegistryinit,
+}
+
+func runRegistryinit(pass *lint.Pass) error {
+	if !inModule(pass.Pkg.Path()) {
+		return nil
+	}
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || !inModule(fn.Pkg().Path()) || !isRegisterName(fn.Name()) {
+			return true
+		}
+		encl := outermostFunc(stack)
+		if encl == nil {
+			// Package-level initializer expressions run during init;
+			// that is exactly the discipline this check wants.
+			return true
+		}
+		if encl.Recv == nil && (encl.Name.Name == "init" || isRegisterName(encl.Name.Name)) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s.%s called from %s: registries are read concurrently after startup, so registration must happen in init (or another Register* helper), not at run time", fn.Pkg().Name(), fn.Name(), encl.Name.Name)
+		return true
+	})
+	return nil
+}
+
+func isRegisterName(name string) bool {
+	return strings.HasPrefix(name, "Register") || strings.HasPrefix(name, "MustRegister")
+}

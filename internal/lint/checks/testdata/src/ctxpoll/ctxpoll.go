@@ -1,0 +1,62 @@
+// Test fixture for the ctxpoll analyzer, loaded under the
+// cancellation-bound subtree rebalance/internal/sim/dispatch: infinite
+// loops must observe a context (or document their bound).
+package dispatch
+
+import "context"
+
+func work() {}
+
+func spins() {
+	for { // want "infinite loop without a context poll"
+		work()
+	}
+}
+
+func polls(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		work()
+	}
+}
+
+func delegates(ctx context.Context, step func(context.Context) error) error {
+	for {
+		// Passing ctx onward counts: the callee owns the poll.
+		if err := step(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+func cancels(cancel context.CancelFunc, done func() bool) {
+	for {
+		if done() {
+			cancel()
+			return
+		}
+	}
+}
+
+func drains(queue []func()) {
+	i := 0
+	//repolint:allow ctxpoll bounded: drains a fixed-length queue, one entry per iteration
+	for {
+		if i >= len(queue) {
+			return
+		}
+		queue[i]()
+		i++
+	}
+}
+
+func counted(n int) {
+	// A conditioned loop terminates by construction; out of scope.
+	for i := 0; i < n; i++ {
+		work()
+	}
+}

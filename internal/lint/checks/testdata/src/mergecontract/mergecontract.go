@@ -1,0 +1,72 @@
+// Test fixture for the mergecontract analyzer: every Merge(any) error
+// implementation must guard its type assertion and report mismatches as
+// errors, because the argument may be a decoded artifact from another
+// process.
+package mergefix
+
+import "fmt"
+
+// good type-checks with the comma-ok form and returns an error.
+type good struct{ n int64 }
+
+func (g *good) Merge(other any) error {
+	o, ok := other.(*good)
+	if !ok {
+		return fmt.Errorf("merge: want *good, got %T", other)
+	}
+	g.n += o.n
+	return nil
+}
+
+// goodSwitch guards through a type switch, equally acceptable.
+type goodSwitch struct{ n int64 }
+
+func (g *goodSwitch) Merge(other any) error {
+	switch o := other.(type) {
+	case *goodSwitch:
+		g.n += o.n
+		return nil
+	default:
+		return fmt.Errorf("merge: want *goodSwitch, got %T", other)
+	}
+}
+
+// unchecked never looks at its argument's type at all.
+type unchecked struct{ n int64 }
+
+func (u *unchecked) Merge(other any) error { // want "never type-checks its argument"
+	_ = other
+	return nil
+}
+
+// oneResult asserts with the single-result form, which panics on any
+// mismatched artifact.
+type oneResult struct{ n int64 }
+
+func (r *oneResult) Merge(other any) error {
+	o := other.(*oneResult) // want "one-result type assertion on other panics"
+	r.n += o.n
+	return nil
+}
+
+// panicky guards correctly but then panics instead of returning the
+// error, taking the whole sweep down with one bad shard.
+type panicky struct{ n int64 }
+
+func (p *panicky) Merge(other any) error {
+	o, ok := other.(*panicky)
+	if !ok {
+		panic("mismatched merge") // want "Merge must return an error .* not panic"
+	}
+	p.n += o.n
+	return nil
+}
+
+// typed takes a concrete parameter: it cannot mismatch at run time, so
+// the contract does not apply.
+type typed struct{ n int64 }
+
+func (t *typed) Merge(o *typed) error {
+	t.n += o.n
+	return nil
+}

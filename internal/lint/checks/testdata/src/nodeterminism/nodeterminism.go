@@ -1,0 +1,59 @@
+// Test fixture for the nodeterminism analyzer, loaded under the
+// determinism-critical import path rebalance/internal/trace.
+package trace
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()   // want "time.Now reads the wall clock"
+	_ = time.Since(t) // want "time.Since reads the wall clock"
+	_ = time.Until(t) // want "time.Until reads the wall clock"
+	// Monotonic arithmetic on values we were handed is fine.
+	return t.Unix()
+}
+
+func allowedWallClock() time.Time {
+	return time.Now() //repolint:allow nodeterminism timing field for operator display only
+}
+
+func globalRand() int {
+	rand.Seed(1)         // want "draws from the global math/rand source"
+	_ = rand.Float64()   // want "draws from the global math/rand source"
+	_ = rand.Perm(4)     // want "draws from the global math/rand source"
+	return rand.Intn(10) // want "draws from the global math/rand source"
+}
+
+func globalRandV2() uint64 {
+	return randv2.Uint64() // want "draws from the global math/rand source"
+}
+
+func seededRand() float64 {
+	// An explicitly seeded generator is deterministic and legal — in both
+	// math/rand generations.
+	r := rand.New(rand.NewSource(42))
+	r2 := randv2.New(randv2.NewPCG(1, 2))
+	return r.Float64() + r2.Float64()
+}
+
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := 0
+	//repolint:allow nodeterminism order-insensitive sum
+	for _, v := range m {
+		out += v
+	}
+	_ = out
+	// Slice iteration is ordered and fine.
+	for range keys {
+	}
+	return keys
+}

@@ -1,0 +1,20 @@
+// Test fixture loaded under rebalance/internal/sim/dispatch, which is
+// timing-driven by design (hedging, backoff, health probes) and exempt
+// from the determinism rules: none of these lines may diagnose.
+package dispatch
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timingIsTheJob(m map[string]int) time.Duration {
+	start := time.Now()
+	jitter := time.Duration(rand.Int63n(1000))
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	_ = total
+	return time.Since(start) + jitter
+}

@@ -1,0 +1,41 @@
+// Test fixture for the registryinit analyzer. Registration must happen
+// during package initialization (init funcs, package-level initializer
+// expressions) or inside another Register* helper; anything that can run
+// after startup races the registries' lock-free readers.
+package regfix
+
+import (
+	"rebalance/internal/program"
+	"rebalance/internal/workload"
+)
+
+func build() (*program.Program, int) { return nil, 0 }
+
+// init-time registration is the sanctioned pattern.
+func init() {
+	workload.Register("regfix-init", build)
+}
+
+// A package-level initializer expression also runs during init.
+var _ = func() bool {
+	workload.Register("regfix-pkglevel", build)
+	return true
+}()
+
+// Register* helpers may delegate to other registration functions; the
+// discipline transfers to their callers.
+func RegisterFixtures(prefix string) {
+	workload.Register(prefix+"-a", build)
+	workload.Register(prefix+"-b", build)
+}
+
+func setup() {
+	workload.Register("regfix-late", build) // want "workload.Register called from setup"
+}
+
+type service struct{}
+
+func (s *service) Start() {
+	workload.Register("regfix-method", build) // want "workload.Register called from Start"
+	RegisterFixtures("regfix-start")          // want "regfix.RegisterFixtures called from Start"
+}

@@ -1,0 +1,25 @@
+// Test fixture loaded under rebalance/internal/wire: the one package
+// allowed to touch encoding/json's lenient decoders directly, because
+// it is where the strict helpers live. The tag and keyed-literal rules
+// still apply here — only the decode-call rule is lifted.
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+func lenientDecodesAreThePointHere(data []byte) error {
+	var v map[string]any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(&v)
+}
+
+type envelope struct {
+	Error string `json:"error"`
+	Code  int    // want "field Code of a wire struct has no json tag"
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// boomAnalyzer reports at every identifier named "boom"; it needs no
+// type information, which lets these tests exercise the annotation and
+// filtering machinery in RunPackage without a real package load.
+var boomAnalyzer = &Analyzer{
+	Name: "fake",
+	Doc:  "reports every ident named boom",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "boom" {
+					p.Reportf(id.Pos(), "boom sighted")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func parsePackage(t *testing.T, filename, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return &Package{Path: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+func lines(pkg *Package, diags []Diagnostic) []int {
+	var out []int
+	for _, d := range diags {
+		out = append(out, pkg.Fset.Position(d.Pos).Line)
+	}
+	return out
+}
+
+func TestAllowAnnotations(t *testing.T) {
+	pkg := parsePackage(t, "fix.go", `package p
+
+func f() {
+	boom() // line 4: no annotation, kept
+	boom() //repolint:allow fake documented reason
+	//repolint:allow fake annotation on the line above also suppresses
+	boom()
+	boom() //repolint:allow other wrong analyzer name, diagnostic kept
+	//repolint:allow fake,other multiple analyzers in one annotation
+	boom()
+}
+`)
+	diags, err := RunPackage(pkg, []*Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lines(pkg, diags)
+	want := []int{4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics on lines %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diagnostics on lines %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMalformedAllowIsItselfADiagnostic(t *testing.T) {
+	pkg := parsePackage(t, "fix.go", `package p
+
+func f() {
+	//repolint:allow fake
+	boom()
+}
+`)
+	diags, err := RunPackage(pkg, []*Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reason-less annotation must not suppress anything, and must
+	// surface as a repolint diagnostic of its own.
+	var sawMalformed, sawBoom bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "repolint":
+			sawMalformed = strings.Contains(d.Message, "malformed allow annotation")
+		case "fake":
+			sawBoom = true
+		}
+	}
+	if !sawMalformed || !sawBoom || len(diags) != 2 {
+		t.Fatalf("got %d diagnostics %v; want the malformed-annotation report plus the unsuppressed boom", len(diags), diags)
+	}
+}
+
+func TestTestFileDiagnosticsDropped(t *testing.T) {
+	pkg := parsePackage(t, "fix_test.go", `package p
+
+func f() {
+	boom()
+}
+`)
+	diags, err := RunPackage(pkg, []*Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics in a _test.go file must be dropped, got %v", diags)
+	}
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRE matches the expectation comments the test harness consumes:
+//
+//	json.Unmarshal(b, &v) // want "use wire.StrictUnmarshal"
+//
+// Each quoted string is a regexp; a line must produce exactly as many
+// diagnostics as it declares expectations, each matching a distinct
+// pattern. This mirrors golang.org/x/tools/go/analysis/analysistest
+// closely enough that testdata reads the same way.
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+var wantStrRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// RunTest loads dir as a package named importPath, runs the analyzer
+// (with annotation suppression applied, so allowlisted negatives are
+// exercised for real), and checks the diagnostics against the `// want`
+// expectations embedded in the sources.
+func RunTest(t *testing.T, l *Loader, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+	}
+
+	// Gather expectations by file:line from the raw source comments.
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantStrRE.FindAllString(m[1], -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, s, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !claim(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", shortPos(pos), d.Analyzer, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation whose pattern matches msg.
+func claim(exps []*expectation, msg string) bool {
+	for _, e := range exps {
+		if !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func shortPos(pos token.Position) string {
+	parts := strings.Split(pos.Filename, "/")
+	if len(parts) > 2 {
+		pos.Filename = strings.Join(parts[len(parts)-2:], "/")
+	}
+	return pos.String()
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads module packages for analysis. It shells out to
+// `go list -export` so type information for dependencies comes from the
+// compiler's own export data (no reimplementation of the build system,
+// works offline against the local build cache), then parses and
+// type-checks the target packages from source with go/types.
+type Loader struct {
+	Root string // module root (directory containing go.mod)
+	fset *token.FileSet
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	imp     types.ImporterFrom
+}
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// ModuleRoot walks upward from dir to the nearest directory containing
+// go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// NewLoader returns a loader rooted at the module containing dir ("."
+// for the current directory).
+func NewLoader(dir string) (*Loader, error) {
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{Root: root, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
+	return l, nil
+}
+
+// goList runs `go list -export -json -deps patterns...` at the module
+// root, records export data for every listed package, and returns the
+// non-dependency targets.
+func (l *Loader) goList(patterns ...string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Incomplete,Error",
+		"-deps",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var targets []listPkg
+	// go list's JSON is toolchain-owned: fields come and go across Go
+	// releases, so this decode is intentionally lenient.
+	dec := json.NewDecoder(bytes.NewReader(out)) //repolint:allow strictwire toolchain-owned JSON, leniency intended
+
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	return targets, nil
+}
+
+// lookup resolves an import path to its export data, fetching it on
+// demand for paths (extra stdlib packages pulled in only by testdata)
+// that the priming `go list` did not cover. Callers hold l.mu.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	if _, ok := l.exports[path]; !ok {
+		if _, err := l.goList(path); err != nil {
+			return nil, err
+		}
+	}
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// check parses and type-checks one set of files as package importPath.
+func (l *Loader) check(importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, gf), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load type-checks every package matching the patterns (non-test files
+// only) and returns them sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	targets, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		p, err := l.check(t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir type-checks the non-test .go files in dir as a package with
+// the given import path. The linttest harness uses this to present
+// testdata sources to analyzers under the real import paths their
+// scoping rules match (e.g. "rebalance/internal/trace"); the files may
+// import genuine module packages, resolved through export data.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		goFiles = append(goFiles, name)
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	sort.Strings(goFiles)
+	return l.check(importPath, dir, goFiles)
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rebalance/internal/sim"
+	"rebalance/internal/wire"
 )
 
 // ShardsPath is the worker protocol endpoint: a worker accepts a
@@ -79,11 +80,15 @@ func (b *HTTPBackend) RunShard(ctx context.Context, spec sim.ShardSpec) (sim.Sha
 		return sim.Shard{}, fmt.Errorf("reading worker response: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
+		// simd's error envelope is exactly {"error", "code"}; anything
+		// else (a proxy's HTML, a foreign server) fails the strict
+		// decode and surfaces as the raw body.
 		var e struct {
 			Error string `json:"error"`
+			Code  int    `json:"code"`
 		}
 		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		if wire.StrictUnmarshal(data, &e) == nil && e.Error != "" {
 			msg = e.Error
 		}
 		if resp.StatusCode == http.StatusBadRequest {

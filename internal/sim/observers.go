@@ -219,7 +219,7 @@ func btbFactory(opts json.RawMessage) ([]ObserverConfig, error) {
 	if len(o.Geometries) == 0 {
 		for _, entries := range []int{256, 512, 1024} {
 			for _, ways := range []int{2, 4, 8} {
-				o.Geometries = append(o.Geometries, btbGeometry{entries, ways})
+				o.Geometries = append(o.Geometries, btbGeometry{Entries: entries, Ways: ways})
 			}
 		}
 	}
@@ -286,7 +286,7 @@ func icacheFactory(opts json.RawMessage) ([]ObserverConfig, error) {
 	if len(o.Geometries) == 0 {
 		for _, kb := range []int{8, 16, 32} {
 			for _, ways := range []int{2, 4, 8} {
-				o.Geometries = append(o.Geometries, icacheGeometry{kb, 64, ways})
+				o.Geometries = append(o.Geometries, icacheGeometry{SizeKB: kb, LineBytes: 64, Ways: ways})
 			}
 		}
 	}

@@ -112,7 +112,7 @@ func (sh Shard) MarshalJSON() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(shardWire{sh.Workload, sh.Seed, sh.Observer, sh.Insts, sh.ElapsedNS, sh.Cached, res})
+	return json.Marshal(shardWire{Workload: sh.Workload, Seed: sh.Seed, Observer: sh.Observer, Insts: sh.Insts, ElapsedNS: sh.ElapsedNS, Cached: sh.Cached, Result: res})
 }
 
 // MarshalJSON implements json.Marshaler.
@@ -121,5 +121,5 @@ func (m Merged) MarshalJSON() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(mergedWire{m.Workload, m.Observer, m.Seeds, res})
+	return json.Marshal(mergedWire{Workload: m.Workload, Observer: m.Observer, Seeds: m.Seeds, Result: res})
 }

@@ -192,7 +192,7 @@ func (s *Session) Run(ctx context.Context, spec *Spec) (*Report, error) {
 			compiled[w] = c
 		}
 	}
-	start := time.Now()
+	start := time.Now() //repolint:allow nodeterminism Report.WallNS wall-clock timing field, excluded from goldens
 	var shards []Shard
 	var failures []ShardFailure
 	if s.runner != nil {
@@ -203,7 +203,7 @@ func (s *Session) Run(ctx context.Context, spec *Spec) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	wall := time.Since(start)
+	wall := time.Since(start) //repolint:allow nodeterminism Report.WallNS wall-clock timing field, excluded from goldens
 
 	// failed marks the grid indices whose execution was abandoned (only
 	// ever non-empty under AllowPartial); those positions in shards are
@@ -410,7 +410,7 @@ func runShard(ctx context.Context, c *trace.Compiled, job *shardJob, spec *Spec)
 		defer cl.Close()
 	}
 	var e *trace.Executor
-	start := time.Now()
+	start := time.Now() //repolint:allow nodeterminism shard elapsed_ns timing field, excluded from goldens
 	var err error
 	if spec.Engine == EngineReference {
 		e = trace.NewExecutor(c.Program(), job.seed)
@@ -427,7 +427,7 @@ func runShard(ctx context.Context, c *trace.Compiled, job *shardJob, spec *Spec)
 	if err != nil {
 		return Shard{}, err
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //repolint:allow nodeterminism shard elapsed_ns timing field, excluded from goldens
 	res, err := obs.Finish()
 	if err != nil {
 		return Shard{}, err

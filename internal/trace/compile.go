@@ -318,7 +318,7 @@ func (e *Executor) appendInst(in isa.Inst) {
 // emitRendered copies a pre-rendered block into the batch buffer.
 func (e *Executor) emitRendered(rb *renderedBlock) {
 	src := rb.insts[e.serialIdx]
-	for {
+	for { //repolint:allow ctxpoll bounded: drains one pre-rendered block (<= one batch per iteration)
 		if len(e.batch) == cap(e.batch) {
 			e.flush()
 		}
@@ -349,7 +349,7 @@ func (e *Executor) emitBranchBatch(br *program.Branch, taken bool, target isa.Ad
 func (e *Executor) runOps(start int32) {
 	ops := e.compiled.ops
 	pc := start
-	for {
+	for { //repolint:allow ctxpoll bounded: one region of compiled ops; Run polls ctx at region boundaries
 		o := &ops[pc]
 		switch o.code {
 		case opHalt:

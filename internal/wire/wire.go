@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 )
 
 // StrictUnmarshal decodes exactly one JSON document into v, rejecting
@@ -21,6 +22,26 @@ func StrictUnmarshal(data []byte, v any) error {
 		return err
 	}
 	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// StrictDecode decodes exactly one JSON document from r into v with the
+// same strictness as StrictUnmarshal: unknown fields and trailing data
+// are errors. It is the streaming entry point for HTTP request bodies,
+// so every wire boundary — client and server side — rejects drift the
+// same way.
+func StrictDecode(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// A second Decode distinguishes clean EOF from trailing garbage
+	// without buffering the whole body.
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
 		return fmt.Errorf("trailing data after JSON value")
 	}
 	return nil
