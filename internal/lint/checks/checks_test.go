@@ -46,12 +46,20 @@ func TestNodeterminismExemptPackage(t *testing.T) {
 	runFixture(t, checks.Nodeterminism, "nodeterminism_excluded", "rebalance/internal/sim/dispatch")
 }
 
+func TestNodeterminismReplayPackage(t *testing.T) {
+	runFixture(t, checks.Nodeterminism, "nodeterminism_replay", "rebalance/internal/trace/replay")
+}
+
 func TestStrictwire(t *testing.T) {
 	runFixture(t, checks.Strictwire, "strictwire", "rebalance/internal/sim")
 }
 
 func TestStrictwireInsideWirePackage(t *testing.T) {
 	runFixture(t, checks.Strictwire, "strictwire_wirepkg", "rebalance/internal/wire")
+}
+
+func TestStrictwireReplayPackage(t *testing.T) {
+	runFixture(t, checks.Strictwire, "strictwire_replay", "rebalance/internal/trace/replay")
 }
 
 func TestRegistryinit(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 // are timing-driven by design and exempt).
 var deterministicExact = []string{
 	module + "/internal/trace",
+	module + "/internal/trace/replay",
 	module + "/internal/program",
 	module + "/internal/isa",
 	module + "/internal/rng",

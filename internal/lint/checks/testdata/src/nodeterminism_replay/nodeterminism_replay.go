@@ -1,0 +1,30 @@
+// Test fixture proving the materialized-trace package is enforced as
+// determinism-critical: a replayed stream must be a pure function of the
+// recorded coordinate, so a wall-clock read or an unordered map walk here
+// would silently break replay==generate bit-identity. Loaded under the
+// import path rebalance/internal/trace/replay.
+package replay
+
+import (
+	"sort"
+	"time"
+)
+
+func staleness() int64 {
+	t := time.Now() // want "time.Now reads the wall clock"
+	return t.Unix()
+}
+
+func annotatedTiming() time.Duration {
+	start := time.Now()      //repolint:allow nodeterminism delivery timing gauge, excluded from trace content
+	return time.Since(start) //repolint:allow nodeterminism delivery timing gauge, excluded from trace content
+}
+
+func evictionOrder(entries map[string]int64) []string {
+	var keys []string
+	for k := range entries { // want "map iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

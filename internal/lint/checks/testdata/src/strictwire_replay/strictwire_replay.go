@@ -1,0 +1,19 @@
+// Test fixture proving the materialized-trace package falls under the
+// module-wide strict-wire rule: a trace key is derived from a canonical
+// JSON form, and a lenient decode that silently dropped an unknown field
+// would alias distinct coordinates onto one key. Loaded under the import
+// path rebalance/internal/trace/replay.
+package replay
+
+import "encoding/json"
+
+type coord struct {
+	Workload string `json:"workload"`
+	Seed     uint64 `json:"seed"`
+}
+
+func parseCoord(data []byte) (coord, error) {
+	var c coord
+	err := json.Unmarshal(data, &c) // want "raw json.Unmarshal outside internal/wire"
+	return c, err
+}

@@ -93,7 +93,7 @@ func (s *Session) Cache() *shardcache.Cache { return s.cache }
 // The leader of a cold compute returns its in-process result directly.
 func (s *Session) cachedShard(ctx context.Context, c *trace.Compiled, job *shardJob, norm *Spec) (Shard, error) {
 	if s.cache == nil {
-		return runShard(ctx, c, job, norm)
+		return s.execShard(ctx, c, job, norm)
 	}
 	spec := ShardSpec{
 		Workload: job.workload,
@@ -114,7 +114,7 @@ func (s *Session) cachedShard(ctx context.Context, c *trace.Compiled, job *shard
 	for attempt := 0; ; attempt++ {
 		var computed *Shard
 		data, hit, err := s.cache.Do(ctx, key, func() ([]byte, error) {
-			sh, err := runShard(ctx, c, job, norm)
+			sh, err := s.execShard(ctx, c, job, norm)
 			if err != nil {
 				return nil, err
 			}
@@ -140,7 +140,7 @@ func (s *Session) cachedShard(ctx context.Context, c *trace.Compiled, job *shard
 		}
 		s.cache.Remove(key)
 		if attempt > 0 {
-			return runShard(ctx, c, job, norm)
+			return s.execShard(ctx, c, job, norm)
 		}
 	}
 }

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"context"
+	"time"
+
+	"rebalance/internal/trace"
+	"rebalance/internal/trace/replay"
+)
+
+// SetTraceStore routes every shard this session executes through the
+// given materialized-trace store: the first shard of a (workload, seed,
+// insts) coordinate generates the instruction stream once and records it;
+// every other shard of the coordinate — other observers, other engines,
+// concurrent or later — replays the recorded buffer instead of
+// regenerating it. Replayed shards are bit-identical (up to timing
+// fields) to generated ones: streams are deterministic per coordinate,
+// observer results are batch-boundary invariant, and replay preserves
+// phase boundaries, so nothing an observer can measure distinguishes the
+// two paths. A nil st (the default) disables replay. Set before the first
+// Run; the field is not synchronized against concurrent Runs.
+//
+// The trace store composes with the shard result cache (SetCache): the
+// result cache short-circuits whole shards, and only the shards it misses
+// reach the trace store. A multi-observer sweep with both warm costs no
+// generation at all.
+func (s *Session) SetTraceStore(st *replay.Store) { s.traces = st }
+
+// TraceStore returns the session's materialized-trace store, or nil.
+func (s *Session) TraceStore() *replay.Store { return s.traces }
+
+// runGroup executes one scheduling unit of the local pool: a single shard
+// (the storeless default), or all shards of one trace coordinate, which
+// replay the coordinate's stream in a single delivery pass. Results and
+// errors land index-aligned in shards/errs.
+func (s *Session) runGroup(ctx context.Context, compiled map[string]*trace.Compiled, jobs []shardJob, group []int, norm *Spec, shards []Shard, errs []error) {
+	if err := ctx.Err(); err != nil {
+		for _, i := range group {
+			errs[i] = err
+		}
+		return
+	}
+	c := compiled[jobs[group[0]].workload]
+	if s.traces == nil || len(group) == 1 {
+		for _, i := range group {
+			shards[i], errs[i] = s.cachedShard(ctx, c, &jobs[i], norm)
+		}
+		return
+	}
+	s.replayGroup(ctx, c, jobs, group, norm, shards, errs)
+}
+
+// replayGroup runs all shards of one (workload, seed, insts) coordinate as
+// a single stream-once, observe-many pass: result-cache hits peel off
+// first, the coordinate's trace is fetched or recorded once, and every
+// remaining observer receives the same batches from one delivery walk — so
+// the stream is read once per coordinate, not once per shard, and the
+// batches stay cache-hot across observers.
+//
+// Result-cache hits and computes carry the exact semantics of cachedShard:
+// hits decode through DecodeShard and are marked Cached, computes are
+// encoded and written back. What the grouped path trades away is only the
+// cross-run singleflight of cache.Do — within one run the grid has no
+// duplicate keys, so concurrent identical computes can arise only from
+// concurrent Runs, where both produce the same canonical record.
+func (s *Session) replayGroup(ctx context.Context, c *trace.Compiled, jobs []shardJob, group []int, norm *Spec, shards []Shard, errs []error) {
+	pending := make([]int, 0, len(group))
+	keys := make([]string, 0, len(group))
+	for _, i := range group {
+		job := &jobs[i]
+		if s.cache == nil {
+			pending = append(pending, i)
+			keys = append(keys, "")
+			continue
+		}
+		spec := ShardSpec{
+			Workload: job.workload,
+			Synth:    job.synth,
+			Seed:     job.seed,
+			Insts:    norm.Insts,
+			Engine:   norm.Engine,
+			Observer: job.cfg.Spec(),
+		}
+		key := ShardCacheKey(spec, job.cfg)
+		if data, ok := s.cache.Get(key); ok {
+			if sh, err := DecodeShard(data, spec, job.cfg); err == nil {
+				sh.Cached = true
+				shards[i] = sh
+				continue
+			}
+			// A record that no longer decodes degrades to a recompute,
+			// exactly as in cachedShard.
+			s.cache.Remove(key)
+		}
+		pending = append(pending, i)
+		keys = append(keys, key)
+	}
+	if len(pending) == 0 {
+		return
+	}
+
+	lead := &jobs[pending[0]]
+	tkey := traceKey(lead.workload, lead.synth, lead.seed, norm.Insts)
+	tr, _, err := s.traces.Do(ctx, tkey, func() (*replay.Trace, error) {
+		return recordTrace(ctx, c, lead.seed, norm)
+	})
+	if err != nil {
+		for _, i := range pending {
+			errs[i] = err
+		}
+		return
+	}
+
+	obs := make([]ShardObserver, len(pending))
+	deliverTo := make([]trace.Observer, len(pending))
+	for k, i := range pending {
+		obs[k] = jobs[i].cfg.NewObserver(c.Program())
+		deliverTo[k] = obs[k]
+	}
+	closed := make([]bool, len(obs))
+	closeObs := func(k int) {
+		if cl, ok := obs[k].(interface{ Close() }); ok && !closed[k] {
+			closed[k] = true
+			cl.Close()
+		}
+	}
+	start := time.Now() //repolint:allow nodeterminism shard elapsed_ns timing field, excluded from goldens
+	if err := replay.Deliver(ctx, tr, trace.BatchSize, deliverTo...); err != nil {
+		for k, i := range pending {
+			closeObs(k)
+			errs[i] = err
+		}
+		return
+	}
+	// The pass is shared, so every shard of the group reports the same
+	// elapsed time: the one delivery walk that fed them all.
+	elapsed := time.Since(start) //repolint:allow nodeterminism shard elapsed_ns timing field, excluded from goldens
+	for k, i := range pending {
+		job := &jobs[i]
+		res, err := obs[k].Finish()
+		closeObs(k)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		sh := Shard{
+			Workload:  job.workload,
+			Seed:      job.seed,
+			Observer:  job.cfg.Key(),
+			Insts:     int64(tr.Len()),
+			ElapsedNS: elapsed.Nanoseconds(),
+			Result:    res,
+		}
+		shards[i] = sh
+		if s.cache != nil {
+			// Write-back mirrors cachedShard's compute path; an encoding
+			// failure leaves the cache unpopulated, never fails the shard.
+			if data, err := EncodeShard(sh); err == nil {
+				s.cache.Put(keys[k], data)
+			}
+		}
+	}
+}
+
+// execShard is the single execution seam beneath the result cache: every
+// shard the session computes — pooled grid cells and single RunShard
+// calls alike — funnels through here, taking the replay path when a trace
+// store is configured and direct generation otherwise.
+func (s *Session) execShard(ctx context.Context, c *trace.Compiled, job *shardJob, norm *Spec) (Shard, error) {
+	if s.traces == nil {
+		return runShard(ctx, c, job, norm)
+	}
+	return s.replayShard(ctx, c, job, norm)
+}
+
+// replayShard executes one shard against the trace store: fetch or record
+// the coordinate's stream (generating at most once across concurrent
+// shards, via the store's singleflight), then replay it through a fresh
+// power-on observer. Generation honors the spec's engine and the
+// context's cancellation exactly as a direct run would; replay polls the
+// same context between batches.
+func (s *Session) replayShard(ctx context.Context, c *trace.Compiled, job *shardJob, norm *Spec) (Shard, error) {
+	key := traceKey(job.workload, job.synth, job.seed, norm.Insts)
+	tr, _, err := s.traces.Do(ctx, key, func() (*replay.Trace, error) {
+		return recordTrace(ctx, c, job.seed, norm)
+	})
+	if err != nil {
+		return Shard{}, err
+	}
+	obs := job.cfg.NewObserver(c.Program())
+	if cl, ok := obs.(interface{ Close() }); ok {
+		// Release observer-owned goroutines even when replay errors
+		// mid-stream.
+		defer cl.Close()
+	}
+	start := time.Now() //repolint:allow nodeterminism shard elapsed_ns timing field, excluded from goldens
+	if err := replay.Deliver(ctx, tr, trace.BatchSize, obs); err != nil {
+		return Shard{}, err
+	}
+	elapsed := time.Since(start) //repolint:allow nodeterminism shard elapsed_ns timing field, excluded from goldens
+	res, err := obs.Finish()
+	if err != nil {
+		return Shard{}, err
+	}
+	return Shard{
+		Workload:  job.workload,
+		Seed:      job.seed,
+		Observer:  job.cfg.Key(),
+		Insts:     int64(tr.Len()),
+		ElapsedNS: elapsed.Nanoseconds(),
+		Result:    res,
+	}, nil
+}
+
+// recordTrace runs one generation pass for a coordinate with a Recorder
+// as the only observer, on the spec's engine. The recorded stream is
+// exactly what a direct run's observers would have seen: the recorder
+// captures every emitted instruction in program order, and Emitted()
+// equals the trace length by construction.
+func recordTrace(ctx context.Context, c *trace.Compiled, seed uint64, norm *Spec) (*replay.Trace, error) {
+	rec := replay.NewRecorder()
+	rec.Reserve(int(norm.Insts))
+	var e *trace.Executor
+	if norm.Engine == EngineReference {
+		e = trace.NewExecutor(c.Program(), seed)
+	} else {
+		e = trace.NewCompiledExecutor(c, seed)
+	}
+	e.SetContext(ctx)
+	e.Attach(rec)
+	var err error
+	if norm.Engine == EngineReference {
+		err = e.RunReference(norm.Insts)
+	} else {
+		err = e.Run(norm.Insts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rec.Trace(), nil
+}

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"rebalance/internal/program"
 	"rebalance/internal/sim/shardcache"
 	"rebalance/internal/trace"
+	"rebalance/internal/trace/replay"
 	"rebalance/internal/workload"
 	"rebalance/internal/workload/synth"
 )
@@ -24,6 +26,7 @@ type Session struct {
 	maxShards int
 	runner    ShardRunner
 	cache     *shardcache.Cache
+	traces    *replay.Store
 
 	mu       sync.Mutex
 	compiled map[string]*compileEntry
@@ -293,7 +296,7 @@ func (s *Session) Run(ctx context.Context, spec *Spec) (*Report, error) {
 func (s *Session) runLocal(ctx context.Context, norm *Spec, jobs []shardJob, compiled map[string]*trace.Compiled) ([]Shard, []ShardFailure, error) {
 	shards := make([]Shard, len(jobs))
 	errs := make([]error, len(jobs))
-	next := make(chan int)
+	next := make(chan []int)
 	var wg sync.WaitGroup
 	workers := s.workers
 	if workers > len(jobs) {
@@ -303,21 +306,56 @@ func (s *Session) runLocal(ctx context.Context, norm *Spec, jobs []shardJob, com
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				job := &jobs[i]
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					continue
+			for group := range next {
+				s.runGroup(ctx, compiled, jobs, group, norm, shards, errs)
+				for _, i := range group {
+					// Deliver each outcome to the context's progress hook (a
+					// no-op without one); ShardDone filters cancellations.
+					ShardDone(ctx, shards[i], errs[i])
 				}
-				shards[i], errs[i] = s.cachedShard(ctx, compiled[job.workload], job, norm)
-				// Deliver the outcome to the context's progress hook (a
-				// no-op without one); ShardDone filters cancellations.
-				ShardDone(ctx, shards[i], errs[i])
 			}
 		}()
 	}
-	for i := range jobs {
-		next <- i
+	// Scheduling granularity is a choice only — results stay index-aligned
+	// with jobs, so the report is order-independent. Without a trace store
+	// every shard is its own unit. With one, the grid is grouped by trace
+	// coordinate (workload, seed): all of a coordinate's shards become one
+	// unit that materializes the stream once and replays it through every
+	// observer in a single pass — the stream-once, observe-many schedule.
+	var feed [][]int
+	if s.traces == nil {
+		feed = make([][]int, len(jobs))
+		for i := range jobs {
+			feed[i] = []int{i}
+		}
+	} else {
+		order := make([]int, len(jobs))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			ja, jb := &jobs[order[a]], &jobs[order[b]]
+			if ja.workload != jb.workload {
+				return ja.workload < jb.workload
+			}
+			return ja.seed < jb.seed
+		})
+		for start := 0; start < len(order); {
+			lead := &jobs[order[start]]
+			end := start + 1
+			for end < len(order) {
+				j := &jobs[order[end]]
+				if j.workload != lead.workload || j.seed != lead.seed {
+					break
+				}
+				end++
+			}
+			feed = append(feed, order[start:end:end])
+			start = end
+		}
+	}
+	for _, group := range feed {
+		next <- group
 	}
 	close(next)
 	wg.Wait()

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"rebalance/internal/workload/synth"
+)
+
+// traceKeyVersion prefixes every canonical trace-coordinate key. Bump it
+// whenever the coordinate's canonical form or the stream semantics of the
+// executor change in a way that makes old materialized traces stale — old
+// entries then simply stop matching instead of replaying a wrong stream.
+// The prefix differs from the shard result cache's (sc2), so the two key
+// spaces are disjoint by construction even in a shared directory.
+const traceKeyVersion = "tr1"
+
+// traceCoord is the canonicalized trace coordinate: everything that
+// determines the emitted instruction stream, and nothing else. The
+// observer is deliberately absent — the stream does not depend on who
+// watches it, which is the entire point of stream-once/observe-many. The
+// engine is deliberately absent too: both engines emit bit-identical
+// streams for a coordinate (the compiled/reference equivalence tests pin
+// this), so a trace generated under either engine serves shards of both.
+type traceCoord struct {
+	Workload string        `json:"workload"`
+	Synth    *synth.Params `json:"synth,omitempty"`
+	Seed     uint64        `json:"seed"`
+	Insts    int64         `json:"insts"`
+}
+
+// TraceKey returns the shard's trace coordinate content address: a
+// versioned hash of the canonicalized {workload, synth-params, seed,
+// insts}. Every shard of one (workload, seed) sweep — any observer, any
+// engine — maps to the same key, which is what lets the trace store serve
+// a 9-observer grid with one generation per coordinate. Invalid specs
+// report ErrInvalidSpec.
+func (sp ShardSpec) TraceKey() (string, error) {
+	if _, err := sp.Config(); err != nil {
+		return "", err
+	}
+	return traceKey(sp.Workload, sp.Synth, sp.Seed, sp.Insts), nil
+}
+
+// traceKey is TraceKey for pre-validated coordinates (the session's
+// internal path, where the spec was validated at normalization).
+func traceKey(workload string, sp *synth.Params, seed uint64, insts int64) string {
+	coord := traceCoord{Workload: workload, Seed: seed, Insts: insts}
+	if sp != nil {
+		c, err := sp.Canonical()
+		if err != nil {
+			// Callers validated the spec (the contract of this entry
+			// point), so the params canonicalize.
+			panic(fmt.Sprintf("sim: canonicalizing synth params for trace key: %v", err))
+		}
+		coord.Synth = &c
+	}
+	data, err := json.Marshal(coord)
+	if err != nil {
+		// The coordinate is plain data assembled above; it cannot fail to
+		// marshal.
+		panic(fmt.Sprintf("sim: marshalling trace coordinate: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%s-%x", traceKeyVersion, sum)
+}

@@ -1,0 +1,152 @@
+package replay
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rebalance/internal/isa"
+)
+
+// Disk encoding of a Trace ("trr1"). The format exploits the stream's
+// structure instead of serializing isa.Inst structs verbatim: most
+// instructions follow their predecessor sequentially (PC == previous
+// NextPC), so their address is implicit, and branch targets cluster near
+// their branch, so they delta-encode small. A 2M-instruction stream
+// encodes to roughly 2.5 bytes per instruction versus 32 in memory.
+//
+// Layout:
+//
+//	magic "trr1" | uvarint count | count x instruction
+//
+// Each instruction is:
+//
+//	flags byte:
+//	  bits 0-2  Kind (isa.Kind, 8 values)
+//	  bit  3    Taken
+//	  bit  4    Serial
+//	  bit  5    sequential PC (PC == previous instruction's NextPC)
+//	  bits 6-7  must be zero
+//	size byte   (must be non-zero)
+//	uvarint PC                     — only when bit 5 is clear
+//	zigzag-varint (Target - PC)    — only for branch kinds
+//
+// KindOther instructions never encode Taken or a Target (the executor
+// always emits them with Taken=false, Target=0), and the decoder enforces
+// that as a validity condition. Decoding is strict across the board —
+// unknown kind bits, reserved flag bits, a zero size, short data, or
+// leftover bytes all fail — so a payload from an incompatible build (or a
+// corrupted file that slipped past the checksum) degrades to a cache miss
+// rather than replaying a wrong stream.
+const (
+	encMagic = "trr1"
+
+	flagTaken  = 1 << 3
+	flagSerial = 1 << 4
+	flagSeqPC  = 1 << 5
+	kindMask   = 0x07
+)
+
+// Encode renders the trace in the trr1 format.
+func Encode(t *Trace) []byte {
+	// Pre-size for the common shape: ~2.5 bytes/inst plus header slack.
+	buf := make([]byte, 0, len(encMagic)+binary.MaxVarintLen64+len(t.insts)*3)
+	buf = append(buf, encMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(t.insts)))
+	var prevNext isa.Addr
+	for i := range t.insts {
+		in := &t.insts[i]
+		flags := byte(in.Kind) & kindMask
+		if in.Taken {
+			flags |= flagTaken
+		}
+		if in.Serial {
+			flags |= flagSerial
+		}
+		seq := i > 0 && in.PC == prevNext
+		if seq {
+			flags |= flagSeqPC
+		}
+		buf = append(buf, flags, in.Size)
+		if !seq {
+			buf = binary.AppendUvarint(buf, uint64(in.PC))
+		}
+		if in.Kind.IsBranch() {
+			buf = binary.AppendVarint(buf, int64(in.Target)-int64(in.PC))
+		}
+		prevNext = in.NextPC()
+	}
+	return buf
+}
+
+// Decode parses a trr1 payload back into a Trace. Any structural
+// violation — wrong magic, truncation, reserved bits, invalid kind, zero
+// size, non-branch carrying branch state, or trailing bytes — is an error.
+func Decode(data []byte) (*Trace, error) {
+	if len(data) < len(encMagic) || string(data[:len(encMagic)]) != encMagic {
+		return nil, fmt.Errorf("replay: bad trace magic")
+	}
+	data = data[len(encMagic):]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("replay: bad instruction count")
+	}
+	data = data[n:]
+	// Bound the allocation by what the payload could possibly hold: every
+	// instruction costs at least two bytes, so a hostile count cannot
+	// force a huge allocation from a tiny payload.
+	if count > uint64(len(data))/2 {
+		return nil, fmt.Errorf("replay: instruction count %d exceeds payload", count)
+	}
+	insts := make([]isa.Inst, count)
+	var prevNext isa.Addr
+	for i := range insts {
+		if len(data) < 2 {
+			return nil, fmt.Errorf("replay: truncated at instruction %d", i)
+		}
+		flags, size := data[0], data[1]
+		data = data[2:]
+		if flags&^(kindMask|flagTaken|flagSerial|flagSeqPC) != 0 {
+			return nil, fmt.Errorf("replay: reserved flag bits set at instruction %d", i)
+		}
+		kind := isa.Kind(flags & kindMask)
+		if int(kind) >= isa.NumKinds {
+			return nil, fmt.Errorf("replay: invalid kind %d at instruction %d", kind, i)
+		}
+		if size == 0 {
+			return nil, fmt.Errorf("replay: zero size at instruction %d", i)
+		}
+		in := &insts[i]
+		in.Kind = kind
+		in.Size = size
+		in.Taken = flags&flagTaken != 0
+		in.Serial = flags&flagSerial != 0
+		if flags&flagSeqPC != 0 {
+			if i == 0 {
+				return nil, fmt.Errorf("replay: first instruction marked sequential")
+			}
+			in.PC = prevNext
+		} else {
+			pc, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, fmt.Errorf("replay: bad PC at instruction %d", i)
+			}
+			data = data[n:]
+			in.PC = isa.Addr(pc)
+		}
+		if kind.IsBranch() {
+			delta, n := binary.Varint(data)
+			if n <= 0 {
+				return nil, fmt.Errorf("replay: bad target at instruction %d", i)
+			}
+			data = data[n:]
+			in.Target = isa.Addr(int64(in.PC) + delta)
+		} else if in.Taken {
+			return nil, fmt.Errorf("replay: non-branch marked taken at instruction %d", i)
+		}
+		prevNext = in.NextPC()
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("replay: %d trailing bytes after %d instructions", len(data), count)
+	}
+	return NewTrace(insts), nil
+}

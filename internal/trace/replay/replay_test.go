@@ -1,0 +1,234 @@
+package replay
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rebalance/internal/isa"
+	"rebalance/internal/trace"
+	"rebalance/internal/workload"
+)
+
+// handStream is a small hand-built stream exercising every instruction
+// kind, both phases, sequential and non-sequential PCs, forward and
+// backward targets, and address extremes — the corner cases the codec's
+// flag byte and delta encoding must round-trip exactly.
+func handStream() []isa.Inst {
+	return []isa.Inst{
+		{PC: 0x400000, Size: 4, Kind: isa.KindOther, Serial: true},
+		{PC: 0x400004, Size: 1, Kind: isa.KindOther, Serial: true}, // sequential
+		{PC: 0x400005, Size: 2, Kind: isa.KindCondDirect, Taken: true, Target: 0x400000, Serial: true},
+		{PC: 0x400000, Size: 4, Kind: isa.KindOther, Serial: true},                                      // sequential via taken target
+		{PC: 0x400004, Size: 2, Kind: isa.KindCondDirect, Taken: false, Target: 0x400000, Serial: true}, // not-taken keeps its target
+		{PC: 0x400006, Size: 5, Kind: isa.KindCall, Taken: true, Target: 0x500000},
+		{PC: 0x500000, Size: 3, Kind: isa.KindSyscall, Taken: false, Target: 0},
+		{PC: 0x500003, Size: 1, Kind: isa.KindReturn, Taken: true, Target: 0x40000b},
+		{PC: 0x40000b, Size: 7, Kind: isa.KindUncondDirect, Taken: true, Target: 0x400100},
+		{PC: 0x400100, Size: 2, Kind: isa.KindIndirectBranch, Taken: true, Target: 0x400200},
+		{PC: 0x400200, Size: 6, Kind: isa.KindIndirectCall, Taken: true, Target: 0x500000},
+		{PC: 0, Size: 1, Kind: isa.KindOther},                                                              // PC zero, non-sequential
+		{PC: ^isa.Addr(0) - 15, Size: 15, Kind: isa.KindOther},                                             // address-space extreme
+		{PC: 0x600000, Size: 2, Kind: isa.KindCondDirect, Taken: true, Target: ^isa.Addr(0), Serial: true}, // max forward delta
+	}
+}
+
+// recordWorkload materializes a real generated stream: the named workload
+// compiled and run for target instructions on the compiled engine.
+func recordWorkload(t testing.TB, name string, seed uint64, target int64) *Trace {
+	t.Helper()
+	p, err := workload.Build(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	if err := trace.Run(p, seed, target, rec); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Trace()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		insts []isa.Inst
+	}{
+		{"hand", handStream()},
+		{"empty", nil},
+		{"workload", recordWorkload(t, "comd-lite", 1, 50_000).insts},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := Encode(NewTrace(tc.insts))
+			got, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got.Len() != len(tc.insts) {
+				t.Fatalf("decoded %d instructions, want %d", got.Len(), len(tc.insts))
+			}
+			for i := range tc.insts {
+				if got.insts[i] != tc.insts[i] {
+					t.Fatalf("instruction %d = %+v, want %+v", i, got.insts[i], tc.insts[i])
+				}
+			}
+			if !reflect.DeepEqual(got.runs, NewTrace(tc.insts).runs) {
+				t.Fatalf("phase runs %v, want %v", got.runs, NewTrace(tc.insts).runs)
+			}
+		})
+	}
+}
+
+// TestEncodeIsCompact pins the codec's reason to exist: a real stream must
+// encode far below its in-memory footprint (the budget the disk tier and
+// any future trace shipping pay).
+func TestEncodeIsCompact(t *testing.T) {
+	tr := recordWorkload(t, "comd-lite", 1, 100_000)
+	enc := Encode(tr)
+	perInst := float64(len(enc)) / float64(tr.Len())
+	if perInst > 4 {
+		t.Errorf("encoding costs %.2f bytes/instruction, want <= 4 (total %d bytes for %d insts)", perInst, len(enc), tr.Len())
+	}
+}
+
+func TestDecodeRejectsStructuralViolations(t *testing.T) {
+	valid := Encode(NewTrace(handStream()))
+	mutate := func(f func([]byte) []byte) []byte { return f(append([]byte(nil), valid...)) }
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "magic"},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] ^= 0xff; return b }), "magic"},
+		{"truncated header", []byte("trr1"), "count"},
+		{"truncated body", mutate(func(b []byte) []byte { return b[:len(b)-3] }), "at instruction"},
+		{"trailing bytes", mutate(func(b []byte) []byte { return append(b, 0) }), "trailing"},
+		{"count exceeds payload", append([]byte("trr1"), 0xff, 0xff, 0x7f), "exceeds payload"},
+		{"first inst sequential", append([]byte("trr1"), 1, flagSeqPC, 4), "first instruction"},
+		{"zero size", append([]byte("trr1"), 1, 0, 0, 5), "zero size"},
+		{"reserved flags", append([]byte("trr1"), 1, 0x80, 4, 5), "reserved flag"},
+		{"non-branch taken", append([]byte("trr1"), 1, flagTaken, 4, 5), "marked taken"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.data)
+			if err == nil {
+				t.Fatal("Decode accepted a structurally invalid payload")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q, want it to mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// batchRecorder is a batch observer that keeps each delivered batch's
+// length and phase and the concatenated stream.
+type batchRecorder struct {
+	lens  []int
+	all   []isa.Inst
+	mixed bool
+}
+
+func (b *batchRecorder) Observe(isa.Inst) { panic("batch path expected") }
+func (b *batchRecorder) ObserveBatch(batch []isa.Inst) {
+	b.lens = append(b.lens, len(batch))
+	for i := range batch {
+		if batch[i].Serial != batch[0].Serial {
+			b.mixed = true
+		}
+	}
+	b.all = append(b.all, batch...)
+}
+
+func TestDeliverBatchesRespectPhaseBoundaries(t *testing.T) {
+	tr := recordWorkload(t, "comd-lite", 3, 30_000)
+	for _, size := range []int{1, 7, 4096} {
+		rec := &batchRecorder{}
+		if err := Deliver(context.Background(), tr, size, rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.mixed {
+			t.Fatalf("batchSize %d: a delivered batch mixed serial and parallel instructions", size)
+		}
+		for _, n := range rec.lens {
+			if n < 1 || n > size {
+				t.Fatalf("batchSize %d: delivered a %d-instruction batch", size, n)
+			}
+		}
+		if !reflect.DeepEqual(rec.all, tr.insts) {
+			t.Fatalf("batchSize %d: delivered stream differs from the trace", size)
+		}
+	}
+}
+
+// TestDeliverMatchesLiveObservation is the package-local equivalence
+// check: an observer fed by Deliver must see the exact per-instruction
+// sequence a live executor run delivers, whatever the replay batch size.
+func TestDeliverMatchesLiveObservation(t *testing.T) {
+	p, err := workload.Build("xalan-lite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []isa.Inst
+	rec := NewRecorder()
+	if err := trace.Run(p, 7, 40_000, trace.ObserverFunc(func(in isa.Inst) { live = append(live, in) }), rec); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace()
+	for _, size := range []int{1, 7, 4096} {
+		var replayed []isa.Inst
+		if err := Deliver(context.Background(), tr, size, trace.ObserverFunc(func(in isa.Inst) { replayed = append(replayed, in) })); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(replayed, live) {
+			t.Fatalf("batchSize %d: replayed per-instruction sequence differs from the live run", size)
+		}
+	}
+}
+
+func TestDeliverCancellation(t *testing.T) {
+	tr := recordWorkload(t, "comd-lite", 1, 50_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	obs := trace.ObserverFunc(func(isa.Inst) {
+		seen++
+		if seen == 100 {
+			cancel()
+		}
+	})
+	err := Deliver(ctx, tr, 64, obs)
+	if err != context.Canceled {
+		t.Fatalf("Deliver under a cancelled context = %v, want context.Canceled", err)
+	}
+	if seen >= tr.Len() {
+		t.Fatal("cancellation did not stop the replay early")
+	}
+}
+
+func TestRecorderCapturesBothEngines(t *testing.T) {
+	p, err := workload.Build("comd-lite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := NewRecorder()
+	e := trace.NewExecutor(p, 5)
+	e.Attach(compiled)
+	if err := e.Run(25_000); err != nil {
+		t.Fatal(err)
+	}
+	reference := NewRecorder()
+	e2 := trace.NewExecutor(p, 5)
+	e2.Attach(reference)
+	if err := e2.RunReference(25_000); err != nil {
+		t.Fatal(err)
+	}
+	ct, rt := compiled.Trace(), reference.Trace()
+	if int64(ct.Len()) != e.Emitted() {
+		t.Fatalf("compiled recorder captured %d instructions, executor emitted %d", ct.Len(), e.Emitted())
+	}
+	if !reflect.DeepEqual(ct.insts, rt.insts) {
+		t.Fatal("recorded streams differ across engines; the trace key's engine-independence rests on them being identical")
+	}
+}
